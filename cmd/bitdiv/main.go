@@ -1,0 +1,20 @@
+// Command bitdiv runs the sensor temporal-data-diversity and
+// semantic-consistency characterization of the paper's §V-A (Fig 5a/5b).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"diverseav/internal/report"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2022, "characterization seed")
+	flag.Parse()
+	o := report.DefaultOptions()
+	o.Seed = *seed
+	fmt.Print(report.Fig5a(o))
+	fmt.Println()
+	fmt.Print(report.Fig5b(o))
+}

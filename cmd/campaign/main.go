@@ -1,0 +1,61 @@
+// Command campaign runs one fault-injection campaign (target × model ×
+// scenario) in DiverseAV mode and prints its Table I row plus per-run
+// outcomes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"diverseav/internal/campaign"
+	"diverseav/internal/fi"
+	"diverseav/internal/scenario"
+	"diverseav/internal/sim"
+	"diverseav/internal/vm"
+)
+
+func main() {
+	var (
+		scen    = flag.String("scenario", "LeadSlowdown", "scenario name")
+		target  = flag.String("target", "GPU", "fault target: CPU or GPU")
+		model   = flag.String("model", "permanent", "fault model: transient or permanent")
+		full    = flag.Bool("full", false, "paper-scale campaign (500 transient / 3 reps / 50 golden)")
+		seed    = flag.Uint64("seed", 7, "campaign seed")
+		td      = flag.Float64("td", 2, "trajectory-violation threshold, meters")
+		verbose = flag.Bool("v", false, "print per-run outcomes")
+	)
+	flag.Parse()
+
+	sc := scenario.ByName(*scen)
+	if sc == nil {
+		fmt.Fprintf(os.Stderr, "campaign: unknown scenario %q\n", *scen)
+		os.Exit(2)
+	}
+	dev := vm.GPU
+	if strings.EqualFold(*target, "CPU") {
+		dev = vm.CPU
+	}
+	mdl := fi.Permanent
+	if strings.EqualFold(*model, "transient") {
+		mdl = fi.Transient
+	}
+	sizes := campaign.DefaultSizes()
+	if *full {
+		sizes = campaign.FullSizes()
+	}
+
+	c := campaign.Run(sc, sim.RoundRobin, dev, mdl, sizes, *seed)
+	row := c.Table1Row(*td)
+	fmt.Printf("%s-%s on %s: total=%d active=%d hang/crash=%d accidents=%d traj-violations=%d (td=%.0fm)\n",
+		row.Target, row.Model, row.Scenario, row.Total, row.Active, row.HangCrash,
+		row.Accidents, row.TrajViolates, *td)
+	if *verbose {
+		for _, r := range c.Runs {
+			d := sim.MaxTrajectoryDivergence(r.Result.Trace, c.Baseline)
+			fmt.Printf("  %-36s act=%-9d outcome=%-10s dpos=%6.2fm\n",
+				r.Plan, r.Result.Activations, r.Result.Trace.Outcome, d)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and writes a combined text report. Individual experiments
+// can be selected with -e; -bench shrinks campaign sizes for a quick
+// pass, -full restores the paper's scale (hours of compute).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"diverseav/internal/campaign"
+	"diverseav/internal/report"
+)
+
+func main() {
+	var (
+		exps  = flag.String("e", "all", "comma-separated experiments: fig5a,fig5b,fig2,fig6,table1,fig7,fig8,table2,missed,compare,ablation,overlap,eccoff")
+		bench = flag.Bool("bench", false, "use the small benchmark sizes")
+		full  = flag.Bool("full", false, "use the paper-scale campaign sizes")
+		seed  = flag.Uint64("seed", 2022, "study seed")
+		out   = flag.String("o", "", "write the report to this file as well as stdout")
+	)
+	flag.Parse()
+
+	o := report.DefaultOptions()
+	if *bench {
+		o = report.BenchOptions()
+	}
+	if *full {
+		o.Sizes = campaign.FullSizes()
+	}
+	o.Seed = *seed
+	o.Log = os.Stderr
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	needStudy := all || want["table1"] || want["fig7"] || want["fig8"] || want["missed"] || want["compare"] || want["ablation"]
+
+	var b strings.Builder
+	section := func(name string, f func() string) {
+		if !all && !want[name] {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "== %s\n", name)
+		b.WriteString(f())
+		b.WriteString("\n")
+	}
+
+	section("fig5a", func() string { return report.Fig5a(o) })
+	section("fig5b", func() string { return report.Fig5b(o) })
+	section("fig2", func() string { return report.Fig2(o) })
+	section("fig6", func() string { return report.Fig6(o) })
+	section("table2", func() string { return report.Table2(o) })
+	section("overlap", func() string { return report.AblationOverlap(o) })
+	section("eccoff", func() string { return report.AblationECCOff(o) })
+
+	if needStudy {
+		study := report.NewStudy(o)
+		section("table1", study.Table1)
+		section("fig7", study.Fig7)
+		section("fig8", study.Fig8)
+		section("missed", study.MissedHazards)
+		section("compare", study.Comparisons)
+		section("ablation", study.AblationDetector)
+	}
+
+	fmt.Print(b.String())
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Command replay loads a recorded run trace (JSON, from `avsim -json`)
+// and optionally a trained detector (from `traindet`), prints the run
+// summary, and re-runs error detection offline — the workflow for
+// analyzing a fleet-collected trace after the fact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"diverseav/internal/core"
+	"diverseav/internal/trace"
+	"diverseav/internal/viz"
+)
+
+func main() {
+	var (
+		traceFile = flag.String("trace", "", "trace JSON file (required)")
+		detFile   = flag.String("detector", "", "trained detector JSON (optional)")
+		compare   = flag.String("compare", "alternating", "comparison mode: alternating, duplicate, temporal")
+	)
+	flag.Parse()
+	if *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "replay: -trace is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*traceFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := trace.Decode(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+	fmt.Print(viz.TraceSummary(tr))
+
+	if *detFile == "" {
+		return
+	}
+	df, err := os.Open(*detFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+	defer df.Close()
+	det, err := core.Load(df)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+	var mode core.CompareMode
+	switch *compare {
+	case "alternating":
+		mode = core.CompareAlternating
+	case "duplicate":
+		mode = core.CompareDuplicate
+	case "temporal":
+		mode = core.CompareTemporal
+	default:
+		fmt.Fprintln(os.Stderr, "replay: unknown comparison", *compare)
+		os.Exit(2)
+	}
+	if alarm, ok := det.Detect(tr, mode); ok {
+		fmt.Printf("ALARM at t=%.2fs on %s (value %.3f > limit %.3f)\n",
+			float64(alarm.Step)/tr.Hz, alarm.Channel, alarm.Value, alarm.Limit)
+	} else {
+		fmt.Println("no alarm")
+	}
+}

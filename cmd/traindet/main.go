@@ -1,0 +1,53 @@
+// Command traindet trains the DiverseAV error-detection engine on
+// fault-free runs of the three long training routes and writes the
+// learned thresholds as JSON.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"diverseav/internal/campaign"
+	"diverseav/internal/core"
+	"diverseav/internal/sim"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "detector.json", "output file")
+		perRoute = flag.Int("runs", 2, "fault-free training runs per long route")
+		seed     = flag.Uint64("seed", 42, "training seed")
+		compare  = flag.String("compare", "alternating", "comparison mode: alternating, duplicate, temporal")
+	)
+	flag.Parse()
+
+	var mode sim.Mode
+	var cmp core.CompareMode
+	switch *compare {
+	case "alternating":
+		mode, cmp = sim.RoundRobin, core.CompareAlternating
+	case "duplicate":
+		mode, cmp = sim.Duplicate, core.CompareDuplicate
+	case "temporal":
+		mode, cmp = sim.Single, core.CompareTemporal
+	default:
+		fmt.Fprintf(os.Stderr, "traindet: unknown comparison %q\n", *compare)
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "training %s detector: %d runs per route\n", *compare, *perRoute)
+	det := campaign.TrainDetector(core.DefaultConfig(), mode, cmp, *perRoute, *seed)
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traindet:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := det.Save(f); err != nil {
+		fmt.Fprintln(os.Stderr, "traindet:", err)
+		os.Exit(1)
+	}
+	thr, brk, str := det.Global()
+	fmt.Printf("wrote %s: global thresholds thr=%.3f brk=%.3f str=%.4f\n", *out, thr, brk, str)
+}

@@ -1,0 +1,14 @@
+// Package diverseav is a from-scratch Go reproduction of "Exploiting
+// Temporal Data Diversity for Detecting Safety-critical Faults in AV
+// Compute Systems" (Jha et al., DSN 2022): a driving-world simulator, a
+// camera-based end-to-end agent compiled onto a simulated CPU/GPU compute
+// fabric, NVBitFI/PinFI-style fault injectors, and the DiverseAV
+// time-multiplexed redundancy technique with its rolling-window error
+// detector and the paper's two comparison baselines.
+//
+// The public entry points live in the cmd/ tools and examples/; the
+// library packages are under internal/. See README.md for a tour,
+// DESIGN.md for the system inventory and substitutions, and
+// EXPERIMENTS.md for the paper-vs-measured record of every table and
+// figure. The benchmarks in bench_test.go regenerate each of them.
+package diverseav

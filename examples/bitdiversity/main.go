@@ -1,0 +1,53 @@
+// Bitdiversity: demonstrate the property DiverseAV exploits — sensor data
+// at consecutive time steps is semantically near-identical but very
+// different at the bit level — on both the KITTI-like recorded drive and
+// live simulator frames.
+package main
+
+import (
+	"fmt"
+
+	"diverseav/internal/kitti"
+	"diverseav/internal/scenario"
+	"diverseav/internal/sensor"
+	"diverseav/internal/sim"
+	"diverseav/internal/stats"
+)
+
+func main() {
+	// Recorded-drive (KITTI-analogue) characterization.
+	seq := kitti.Generate(kitti.DefaultConfig())
+	d := kitti.Measure(seq)
+	fmt.Println("recorded drive (10 Hz, 2 cameras + LiDAR + IMU/GPS):")
+	fmt.Printf("  camera:  %.0f/%.0f of 24 bits differ per pixel (p50/p90)\n",
+		stats.Percentile(d.CameraBits, 50), stats.Percentile(d.CameraBits, 90))
+	fmt.Printf("  IMU+GPS: %.0f/%.0f of 32 bits differ per word\n",
+		stats.Percentile(d.IMUBits, 50), stats.Percentile(d.IMUBits, 90))
+	fmt.Printf("  LiDAR:   %.0f/%.0f of 32 bits differ per word\n",
+		stats.Percentile(d.LidarBits, 50), stats.Percentile(d.LidarBits, 90))
+	fmt.Printf("  ...yet objects move only %.2f px / %.2f m between frames (p50 bbox / 3-D center)\n",
+		stats.Percentile(d.BBoxShift, 50), stats.Percentile(d.Center3DShift, 50))
+
+	// Live simulator frames from a closed-loop drive.
+	var prev sensor.Frame
+	var diffs []float64
+	sim.Run(sim.Config{
+		Scenario: scenario.LeadSlowdown(),
+		Mode:     sim.Single,
+		Seed:     9,
+		StepHook: func(step int, _ *scenario.Env, frames *[3]sensor.Frame) {
+			if prev != nil {
+				for _, n := range sensor.BitDiffPerPixel(prev, frames[0]) {
+					diffs = append(diffs, float64(n))
+				}
+			} else {
+				prev = sensor.NewFrame()
+			}
+			copy(prev, frames[0])
+		},
+	})
+	fmt.Println("simulator center camera (40 Hz, closed loop):")
+	fmt.Printf("  camera:  %.0f/%.0f of 24 bits differ per pixel (p50/p90)\n",
+		stats.Percentile(diffs, 50), stats.Percentile(diffs, 90))
+	fmt.Println("this bit-level diversity is what lets two round-robin agents expose hardware faults")
+}

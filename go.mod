@@ -1,0 +1,3 @@
+module diverseav
+
+go 1.22

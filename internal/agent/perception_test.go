@@ -1,0 +1,239 @@
+package agent
+
+import (
+	"math"
+	"testing"
+
+	"diverseav/internal/vm"
+)
+
+// paintWorking fills the working image region with a uniform RGB color,
+// bypassing the CPU marshal stage (these tests drive the GPU program
+// directly).
+func paintWorking(m *vm.Machine, r, g, b float64) {
+	mem := m.Mem()
+	for base := AddrWork; base < AddrWork+stageLen; base += 3 {
+		mem[base], mem[base+1], mem[base+2] = r, g, b
+	}
+}
+
+// paintCenterRect paints a rectangle (grid coordinates) in the center
+// camera's working image.
+func paintCenterRect(m *vm.Machine, c0, c1, v0, v1 int, r, g, b float64) {
+	mem := m.Mem()
+	for v := v0; v <= v1; v++ {
+		for c := c0; c <= c1; c++ {
+			base := AddrWorkCenter + (v*GridW+c)*3
+			mem[base], mem[base+1], mem[base+2] = r, g, b
+		}
+	}
+}
+
+func newGPUAgent(t *testing.T) *Agent {
+	t.Helper()
+	return New("perception-test")
+}
+
+func runGPU(t *testing.T, a *Agent) {
+	t.Helper()
+	mem := a.Machine().Mem()
+	mem[AddrScalarWork+0] = 8    // speed
+	mem[AddrScalarWork+1] = 0.05 // dt
+	mem[AddrScalarWork+2] = 12   // limit
+	if err := a.Machine().Run(vm.GPU, BuildGPU(), budgetGPU); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerceptionNoObstacleOnUniformRoad(t *testing.T) {
+	a := newGPUAgent(t)
+	paintWorking(a.Machine(), 98, 98, 100) // road gray everywhere
+	runGPU(t, a)
+	dist := a.Machine().Mem()[AddrOut+3]
+	if dist < 100 {
+		t.Errorf("obstacle distance on uniform road = %v, want far", dist)
+	}
+}
+
+func TestPerceptionBlueBlockDetected(t *testing.T) {
+	a := newGPUAgent(t)
+	paintWorking(a.Machine(), 98, 98, 100)
+	// A blue block in the central corridor at rows ≈ 26–30 (≈ 6–7.5 m).
+	paintCenterRect(a.Machine(), 13, 18, 26, 30, 32, 44, 150)
+	runGPU(t, a)
+	dist := a.Machine().Mem()[AddrOut+3]
+	// The block's lowest row (30) images 5 m; the EMA starts from far,
+	// so the first frame lands between.
+	if dist > 120 {
+		t.Errorf("blue block not detected: distance = %v", dist)
+	}
+	// Run again: the EMA converges toward the ground-row distance.
+	runGPU(t, a)
+	runGPU(t, a)
+	dist = a.Machine().Mem()[AddrOut+3]
+	if dist < 3 || dist > 12 {
+		t.Errorf("converged distance = %v, want ≈ 5 m", dist)
+	}
+}
+
+func TestPerceptionRedBlockDetected(t *testing.T) {
+	a := newGPUAgent(t)
+	paintWorking(a.Machine(), 98, 98, 100)
+	paintCenterRect(a.Machine(), 13, 18, 28, 32, 205, 24, 22) // stop-bar red
+	for i := 0; i < 3; i++ {
+		runGPU(t, a)
+	}
+	if dist := a.Machine().Mem()[AddrOut+3]; dist > 12 {
+		t.Errorf("red block not detected: %v", dist)
+	}
+}
+
+func TestPerceptionOffCorridorIgnored(t *testing.T) {
+	a := newGPUAgent(t)
+	paintWorking(a.Machine(), 98, 98, 100)
+	// Blue block near the image edge: far outside the ego corridor at
+	// its rows' distances.
+	paintCenterRect(a.Machine(), 0, 4, 26, 30, 32, 44, 150)
+	for i := 0; i < 3; i++ {
+		runGPU(t, a)
+	}
+	if dist := a.Machine().Mem()[AddrOut+3]; dist < 100 {
+		t.Errorf("off-corridor block braked the agent: dist = %v", dist)
+	}
+}
+
+func TestControlOutputsWithinActuatorRange(t *testing.T) {
+	a := newGPUAgent(t)
+	paintWorking(a.Machine(), 98, 98, 100)
+	for i := 0; i < 5; i++ {
+		runGPU(t, a)
+		mem := a.Machine().Mem()
+		thr, brk, str := mem[AddrOut+0], mem[AddrOut+1], mem[AddrOut+2]
+		if thr < 0 || thr > 1 || brk < 0 || brk > 1 || str < -1 || str > 1 {
+			t.Fatalf("outputs out of range: thr=%v brk=%v str=%v", thr, brk, str)
+		}
+	}
+}
+
+func TestPIDIntegratorPersistsInFabricMemory(t *testing.T) {
+	a := newGPUAgent(t)
+	paintWorking(a.Machine(), 98, 98, 100)
+	runGPU(t, a)
+	i1 := a.Machine().Mem()[AddrState+offPIDInteg]
+	runGPU(t, a)
+	i2 := a.Machine().Mem()[AddrState+offPIDInteg]
+	if i1 == 0 || i1 == i2 {
+		t.Errorf("integrator not accumulating: %v → %v", i1, i2)
+	}
+}
+
+func TestHeartbeatAdvances(t *testing.T) {
+	a := New("hb")
+	mem := a.Machine().Mem()
+	prog := BuildCPUOut()
+	for i := 1; i <= 3; i++ {
+		if err := a.Machine().Run(vm.CPU, prog, budgetCPUOut); err != nil {
+			t.Fatal(err)
+		}
+		if got := mem[AddrState+offHeartbeat]; got != float64(i) {
+			t.Fatalf("heartbeat = %v after %d runs", got, i)
+		}
+	}
+}
+
+func TestCPUInCopiesStagingToWorking(t *testing.T) {
+	a := New("copy")
+	mem := a.Machine().Mem()
+	for i := 0; i < stageLen; i++ {
+		mem[AddrStage+i] = float64(i % 251)
+	}
+	mem[AddrScalarIn] = 7.5
+	if err := a.Machine().Run(vm.CPU, BuildCPUIn(), budgetCPUIn); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < stageLen; i++ {
+		if mem[AddrWork+i] != float64(i%251) {
+			t.Fatalf("working[%d] = %v, want %v", i, mem[AddrWork+i], i%251)
+		}
+	}
+	if mem[AddrScalarWork] != 7.5 {
+		t.Errorf("scalar not marshaled: %v", mem[AddrScalarWork])
+	}
+}
+
+func TestCPUOutCopiesMailbox(t *testing.T) {
+	a := New("mbx")
+	mem := a.Machine().Mem()
+	for i := 0; i < outLen; i++ {
+		mem[AddrOut+i] = float64(10 + i)
+	}
+	if err := a.Machine().Run(vm.CPU, BuildCPUOut(), budgetCPUOut); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < outLen; i++ {
+		if mem[AddrMailbox+i] != float64(10+i) {
+			t.Fatalf("mailbox[%d] = %v", i, mem[AddrMailbox+i])
+		}
+	}
+	if mem[AddrState+offChecksum] == 0 {
+		t.Error("output checksum not computed")
+	}
+}
+
+func TestProgramsStaticallyValid(t *testing.T) {
+	for _, p := range []*vm.Program{BuildCPUIn(), BuildCPUOut(), BuildGPU()} {
+		if p.Len() == 0 {
+			t.Fatalf("%s: empty program", p.Name)
+		}
+		last := p.Code[p.Len()-1]
+		if last.Op != vm.HALT {
+			t.Errorf("%s: does not end with HALT", p.Name)
+		}
+		// Every branch target must be in range.
+		for i, in := range p.Code {
+			switch in.Op {
+			case vm.JMP, vm.BEQZ, vm.BNEZ:
+				if in.IImm < 0 || in.IImm >= int64(p.Len()) {
+					t.Errorf("%s: instruction %d branches to %d (program length %d)",
+						p.Name, i, in.IImm, p.Len())
+				}
+			}
+		}
+	}
+}
+
+func TestGPUProgramUsesBroadISA(t *testing.T) {
+	// The permanent-fault sweep is only meaningful if the agent's GPU
+	// program actually exercises a broad slice of the ISA.
+	used := map[vm.Opcode]bool{}
+	for _, in := range BuildGPU().Code {
+		used[in.Op] = true
+	}
+	if len(used) < 20 {
+		t.Errorf("GPU program uses %d opcodes, want a broad ISA footprint", len(used))
+	}
+	for _, op := range []vm.Opcode{vm.FMA, vm.FSQRT, vm.FTANH, vm.FDIV, vm.FSEL, vm.LD, vm.ST, vm.IMUL} {
+		if !used[op] {
+			t.Errorf("GPU program missing %s", op)
+		}
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	a := New("m")
+	if a.MemoryBytes() != MemWords*8 {
+		t.Errorf("memory bytes = %d", a.MemoryBytes())
+	}
+}
+
+func TestRowDistSideLUTMonotone(t *testing.T) {
+	lut := RowDistSideLUT()
+	for rg := 11; rg < SideH; rg++ {
+		if lut[rg] >= lut[rg-1] {
+			t.Errorf("side LUT not decreasing at %d", rg)
+		}
+		if math.IsInf(lut[rg], 0) {
+			t.Errorf("side LUT infinite at %d", rg)
+		}
+	}
+}

@@ -1,0 +1,586 @@
+package agent
+
+import "diverseav/internal/vm"
+
+// Register conventions for the generated programs. Integer registers:
+const (
+	rCnt   = 0  // loop counter
+	rEnd   = 1  // loop bound
+	rFlag  = 2  // comparison flag
+	rSrc   = 3  // source address
+	rDst   = 4  // destination address
+	rRow   = 5  // row counter
+	rCol   = 6  // column counter
+	rBase  = 7  // row base address
+	rW     = 8  // constant: grid width
+	rT0    = 9  // predicate temp
+	rT1    = 10 // predicate temp
+	rAddr  = 11 // address temp
+	rC0    = 12 // constant bound
+	rC1    = 13 // constant bound
+	rLutC  = 14 // center row-distance LUT base
+	rLutL  = 15 // column-lateral LUT base
+	rLutS  = 16 // side row-distance LUT base
+	rAcc   = 17 // checksum accumulator (CPU)
+	rShA   = 18 // shift amount (CPU)
+	rShB   = 19 // complement shift amount (CPU)
+	rMisc  = 20
+	rMisc2 = 21
+)
+
+// Float registers:
+const (
+	fT0 = iota // temps 0..8
+	fT1
+	fT2
+	fT3
+	fT4
+	fT5
+	fT6
+	fT7
+	fScore
+	_
+	fNegHalf  // -0.5
+	fThresh   // score threshold
+	fBig      // "no obstacle" distance
+	fZero     // 0.0
+	fOne      // 1.0
+	fFifth    // 0.2 (conv kernel scale)
+	fMinDist  // running min obstacle distance, center camera
+	fRowDist  // current row's ground distance
+	fLat      // lateral temp
+	fCorridor // corridor half-width
+	fSideDist // running min obstacle distance, side cameras
+	fWp10     // waypoint lateral at ~10.0 m
+	fWp75     // waypoint lateral at ~7.5 m
+	fWp50     // waypoint lateral at ~5.0 m
+	fWp33     // waypoint lateral at ~3.3 m
+	fSum      // centroid weight sum
+	fSumLat   // centroid weighted lateral sum
+	fColLat   // column lateral at unit distance
+	fRoad     // road-ness value
+	fM0       // misc
+	fM1       // misc
+	fChroma   // 18.0 road chroma threshold
+	fLumHi    // 470.0
+	fLumLo    // 180.0
+	fSpeed    // measured speed
+	fDt       // effective frame period
+	fLimit    // route speed limit
+	fTarget   // target speed
+	fErr      // speed error
+	fInteg    // PID integrator
+	fCmd      // acceleration command
+	fThrottle
+	fBrake
+	fLatErr
+	fSteer
+	fPrev
+	fC0 // scratch constants
+	fC1
+	fC2
+)
+
+// BuildCPUIn assembles the CPU marshal-in program: copy the scalar inputs
+// and the staged camera data into the agent's working buffers. This is
+// the "loading" work the paper attributes to the CPU; its instruction
+// stream is integer/address heavy, which is why injected CPU faults
+// predominantly produce segfaults and hangs rather than silent
+// corruptions.
+func BuildCPUIn() *vm.Program {
+	b := vm.NewBuilder("cpu-marshal-in")
+	b.IMovI(rSrc, AddrScalarIn)
+	for k := int64(0); k < 4; k++ {
+		b.Ld(fT0, rSrc, k)
+		b.St(rSrc, AddrScalarWork+k, fT0)
+	}
+	b.IMovI(rSrc, AddrStage)
+	b.IMovI(rEnd, AddrStage+stageLen)
+	top := b.NewLabel()
+	b.Bind(top)
+	b.Ld(fT0, rSrc, 0)
+	b.St(rSrc, stageLen, fT0) // working buffer sits exactly stageLen above
+	b.IAddI(rSrc, rSrc, 1)
+	b.ICmpLt(rFlag, rSrc, rEnd)
+	b.Bnez(rFlag, top)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// BuildCPUOut assembles the CPU marshal-out program: copy the GPU's
+// actuation outputs to the host mailbox, bump the heartbeat, and fold an
+// integer checksum over the outputs (orchestration-flavored integer work,
+// exercising the integer/bit-op part of the ISA on the CPU device).
+func BuildCPUOut() *vm.Program {
+	b := vm.NewBuilder("cpu-marshal-out")
+	b.IMovI(rSrc, AddrOut)
+	for k := int64(0); k < outLen; k++ {
+		b.Ld(fT0, rSrc, k)
+		b.St(rSrc, AddrMailbox-AddrOut+k, fT0)
+	}
+	// Heartbeat.
+	b.IMovI(rDst, AddrState)
+	b.Ld(fT1, rDst, offHeartbeat)
+	b.FMovI(fT2, 1)
+	b.FAdd(fT1, fT1, fT2)
+	b.St(rDst, offHeartbeat, fT1)
+	// Checksum: acc = rotl5(acc ^ int(out[k])) over the 12 outputs.
+	b.IMovI(rCnt, 0)
+	b.IMovI(rEnd, outLen)
+	b.IMovI(rAcc, 0)
+	b.IMovI(rShA, 5)
+	b.IMovI(rShB, 59)
+	top := b.NewLabel()
+	done := b.NewLabel()
+	b.Bind(top)
+	b.ICmpEq(rFlag, rCnt, rEnd)
+	b.Bnez(rFlag, done)
+	b.IAdd(rAddr, rSrc, rCnt)
+	b.Ld(fT0, rAddr, 0)
+	b.FToI(rT0, fT0)
+	b.IXor(rAcc, rAcc, rT0)
+	b.IShl(rT0, rAcc, rShA)
+	b.IShr(rT1, rAcc, rShB)
+	b.IOr(rAcc, rT0, rT1)
+	b.IAddI(rCnt, rCnt, 1)
+	b.Jmp(top)
+	b.Bind(done)
+	b.IMov(rMisc, rAcc)
+	b.ISub(rMisc2, rEnd, rCnt)
+	b.IToF(fT3, rMisc)
+	b.St(rDst, offChecksum, fT3)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// emitScoreLoop emits the per-pixel obstacle-score pass for one camera:
+// score = max(blueness, redness), where blueness = B − (R+G)/2 flags the
+// blue NPC bodies and redness = R − (G+B)/2 flags brake lights and red
+// stop bars.
+func emitScoreLoop(b *vm.Builder, srcBase, dstBase, pxCount int64) {
+	b.IMovI(rSrc, srcBase)
+	b.IMovI(rDst, dstBase)
+	b.IMovI(rCnt, 0)
+	b.IMovI(rEnd, pxCount)
+	top := b.NewLabel()
+	done := b.NewLabel()
+	b.Bind(top)
+	b.ICmpLt(rFlag, rCnt, rEnd)
+	b.Beqz(rFlag, done)
+	b.Ld(fT0, rSrc, 0) // R
+	b.Ld(fT1, rSrc, 1) // G
+	b.Ld(fT2, rSrc, 2) // B
+	b.FAdd(fT3, fT0, fT1)
+	b.FMA(fT4, fT3, fNegHalf, fT2) // blueness
+	b.FAdd(fT3, fT1, fT2)
+	b.FMA(fT5, fT3, fNegHalf, fT0) // redness
+	b.FMax(fScore, fT4, fT5)
+	b.St(rDst, 0, fScore)
+	b.IAddI(rSrc, rSrc, 3)
+	b.IAddI(rDst, rDst, 1)
+	b.IAddI(rCnt, rCnt, 1)
+	b.Jmp(top)
+	b.Bind(done)
+}
+
+// emitConv emits the cross-kernel smoothing pass over the center-camera
+// score grid (the agent's convolution layer), for the scanned ground
+// rows only.
+func emitConv(b *vm.Builder) {
+	b.IMovI(rRow, scanRow0)
+	b.IMovI(rC0, scanRow1+1)
+	b.IMovI(rC1, GridW-1)
+	rowTop := b.NewLabel()
+	rowDone := b.NewLabel()
+	b.Bind(rowTop)
+	b.ICmpLt(rFlag, rRow, rC0)
+	b.Beqz(rFlag, rowDone)
+	b.IMul(rBase, rRow, rW)
+	b.IAddI(rBase, rBase, AddrGridCenter)
+	b.IMovI(rCol, 1)
+	colTop := b.NewLabel()
+	colDone := b.NewLabel()
+	b.Bind(colTop)
+	b.ICmpLt(rFlag, rCol, rC1)
+	b.Beqz(rFlag, colDone)
+	b.IAdd(rAddr, rBase, rCol)
+	b.Ld(fT0, rAddr, 0)
+	b.Ld(fT1, rAddr, -1)
+	b.Ld(fT2, rAddr, 1)
+	b.Ld(fT3, rAddr, -int64(GridW))
+	b.Ld(fT4, rAddr, int64(GridW))
+	b.FAdd(fT0, fT0, fT1)
+	b.FAdd(fT0, fT0, fT2)
+	b.FAdd(fT0, fT0, fT3)
+	b.FAdd(fT0, fT0, fT4)
+	b.FMul(fT0, fT0, fFifth)
+	b.St(rAddr, AddrConv-AddrGridCenter, fT0)
+	b.IAddI(rCol, rCol, 1)
+	b.Jmp(colTop)
+	b.Bind(colDone)
+	b.IAddI(rRow, rRow, 1)
+	b.Jmp(rowTop)
+	b.Bind(rowDone)
+}
+
+// emitRoadness emits the road-classification pass for one centroid row:
+// a pixel is road-like when its chroma is near-neutral and its summed
+// intensity sits in the road band.
+func emitRoadness(b *vm.Builder, row int) {
+	b.IMovI(rSrc, AddrWorkCenter+int64(row)*GridW*3)
+	b.IMovI(rDst, AddrRoad+int64(row)*GridW)
+	b.IMovI(rCnt, 0)
+	b.IMovI(rEnd, GridW)
+	top := b.NewLabel()
+	done := b.NewLabel()
+	b.Bind(top)
+	b.ICmpLt(rFlag, rCnt, rEnd)
+	b.Beqz(rFlag, done)
+	b.Ld(fT0, rSrc, 0)
+	b.Ld(fT1, rSrc, 1)
+	b.Ld(fT2, rSrc, 2)
+	b.FSub(fT3, fT0, fT1)
+	b.FAbs(fT3, fT3)
+	b.FCmpLt(rT0, fT3, fChroma)
+	b.FSub(fT4, fT1, fT2)
+	b.FAbs(fT4, fT4)
+	b.FCmpLt(rT1, fT4, fChroma)
+	b.IAnd(rT0, rT0, rT1)
+	b.FAdd(fT5, fT0, fT1)
+	b.FAdd(fT5, fT5, fT2)
+	b.FCmpLt(rT1, fT5, fLumHi)
+	b.IAnd(rT0, rT0, rT1)
+	b.FCmpLe(rT1, fLumLo, fT5)
+	b.IAnd(rT0, rT0, rT1)
+	b.FSel(fRoad, fOne, fZero, rT0)
+	b.St(rDst, 0, fRoad)
+	b.IAddI(rSrc, rSrc, 3)
+	b.IAddI(rDst, rDst, 1)
+	b.IAddI(rCnt, rCnt, 1)
+	b.Jmp(top)
+	b.Bind(done)
+}
+
+// emitCenterScan emits the corridor scan over the smoothed center grid:
+// the minimum ground distance among cells whose score exceeds the
+// threshold and whose lateral offset lies within the ego-path corridor.
+func emitCenterScan(b *vm.Builder) {
+	b.FMov(fMinDist, fBig)
+	b.IMovI(rRow, scanRow0)
+	b.IMovI(rC0, scanRow1+1)
+	b.IMovI(rC1, GridW)
+	rowTop := b.NewLabel()
+	rowDone := b.NewLabel()
+	b.Bind(rowTop)
+	b.ICmpLt(rFlag, rRow, rC0)
+	b.Beqz(rFlag, rowDone)
+	b.IAdd(rAddr, rLutC, rRow)
+	b.Ld(fRowDist, rAddr, 0)
+	b.IMul(rBase, rRow, rW)
+	b.IAddI(rBase, rBase, AddrConv)
+	b.IMovI(rCol, 0)
+	colTop := b.NewLabel()
+	colDone := b.NewLabel()
+	b.Bind(colTop)
+	b.ICmpLt(rFlag, rCol, rC1)
+	b.Beqz(rFlag, colDone)
+	b.IAdd(rAddr, rLutL, rCol)
+	b.Ld(fColLat, rAddr, 0)
+	b.FMul(fLat, fColLat, fRowDist)
+	b.FAbs(fLat, fLat)
+	b.FCmpLt(rT0, fLat, fCorridor)
+	b.IAdd(rAddr, rBase, rCol)
+	b.Ld(fT0, rAddr, 0)
+	b.FCmpLt(rT1, fThresh, fT0)
+	b.IAnd(rT0, rT0, rT1)
+	b.FSel(fM0, fRowDist, fBig, rT0)
+	b.FMin(fMinDist, fMinDist, fM0)
+	b.IAddI(rCol, rCol, 1)
+	b.Jmp(colTop)
+	b.Bind(colDone)
+	b.IAddI(rRow, rRow, 1)
+	b.Jmp(rowTop)
+	b.Bind(rowDone)
+}
+
+// emitSideScan emits the near-field scan of one side camera's raw score
+// grid: the inner columns (toward the ego path) of the bottom rows. Side
+// detections are range-scaled by cos 45° (the camera yaw) and matter
+// only for close cut-ins.
+func emitSideScan(b *vm.Builder, gridBase int64, col0, col1 int) {
+	b.IMovI(rRow, SideH-4)
+	b.IMovI(rC0, SideH)
+	b.IMovI(rC1, int64(col1))
+	rowTop := b.NewLabel()
+	rowDone := b.NewLabel()
+	b.Bind(rowTop)
+	b.ICmpLt(rFlag, rRow, rC0)
+	b.Beqz(rFlag, rowDone)
+	b.IAdd(rAddr, rLutS, rRow)
+	b.Ld(fRowDist, rAddr, 0)
+	b.IMul(rBase, rRow, rW)
+	b.IAddI(rBase, rBase, gridBase)
+	b.IMovI(rCol, int64(col0))
+	colTop := b.NewLabel()
+	colDone := b.NewLabel()
+	b.Bind(colTop)
+	b.ICmpLt(rFlag, rCol, rC1)
+	b.Beqz(rFlag, colDone)
+	b.IAdd(rAddr, rBase, rCol)
+	b.Ld(fT0, rAddr, 0)
+	b.FCmpLt(rT0, fThresh, fT0)
+	b.FSel(fM0, fRowDist, fBig, rT0)
+	b.FMin(fSideDist, fSideDist, fM0)
+	b.IAddI(rCol, rCol, 1)
+	b.Jmp(colTop)
+	b.Bind(colDone)
+	b.IAddI(rRow, rRow, 1)
+	b.Jmp(rowTop)
+	b.Bind(rowDone)
+}
+
+// emitLaneEstimate emits the lane-center estimation pass for one
+// reference row: scan the road-ness row from the right image edge and
+// take the first road pixel as the right road edge; the ego-lane center
+// is then half a lane left of it. The result (meters, ego frame, ≈ 0
+// when lane-centered) lands in wpReg. When no road pixel is found the
+// previous frame's estimate is kept (state in fabric memory). A
+// right-edge estimator is robust to the FOV truncating the road at near
+// rows, where a road centroid would be biased.
+func emitLaneEstimate(b *vm.Builder, row, wpIndex, wpReg int) {
+	dist := RowDistCenterLUT()[row]
+	// rMisc: found flag; fSumLat: edge unit-lateral.
+	b.IMovI(rMisc, 0)
+	b.FMovI(fSumLat, 0)
+	b.FMovI(fT6, 0.5) // road-ness cut
+	b.IMovI(rCnt, GridW-1)
+	b.IMovI(rEnd, -1)
+	b.IMovI(rSrc, AddrRoad+int64(row)*GridW)
+	top := b.NewLabel()
+	done := b.NewLabel()
+	b.Bind(top)
+	b.ICmpLt(rFlag, rEnd, rCnt)
+	b.Beqz(rFlag, done)
+	b.IAdd(rAddr, rSrc, rCnt)
+	b.Ld(fRoad, rAddr, 0)
+	b.FCmpLt(rT0, fT6, fRoad) // is road
+	b.IMovI(rT1, 0)
+	b.ICmpEq(rT1, rMisc, rT1) // not yet found
+	b.IAnd(rT1, rT0, rT1)     // take this column as the edge
+	b.IAdd(rAddr, rLutL, rCnt)
+	b.Ld(fColLat, rAddr, 0)
+	b.FSel(fSumLat, fColLat, fSumLat, rT1)
+	b.IOr(rMisc, rMisc, rT0)
+	b.IAddI(rCnt, rCnt, -1)
+	b.Jmp(top)
+	b.Bind(done)
+	b.FMovI(fM1, dist)
+	b.FMul(fM0, fSumLat, fM1) // right-edge lateral in meters
+	b.FMovI(fM1, laneTargetOff)
+	b.FAdd(fM0, fM0, fM1) // ego-lane center lateral
+	b.IMovI(rAddr, AddrState+offPrevWaypts+int64(wpIndex)*2+1)
+	b.Ld(fPrev, rAddr, 0)
+	b.FSel(wpReg, fM0, fPrev, rMisc)
+	b.St(rAddr, 0, wpReg)
+}
+
+// BuildGPU assembles the vision-planner + control program: the agent's
+// "CNN" (score, convolution, road classification, corridor scans,
+// centroid waypoints) followed by the waypoint tracker and PID control
+// unit. Everything runs on the GPU-class device each frame.
+func BuildGPU() *vm.Program {
+	b := vm.NewBuilder("gpu-vision-control")
+
+	// Constants.
+	b.FMovI(fNegHalf, -0.5)
+	b.FMovI(fThresh, scoreThresh)
+	b.FMovI(fBig, bigDist)
+	b.FMovI(fZero, 0)
+	b.FMovI(fOne, 1)
+	b.FMovI(fFifth, 0.2)
+	b.FMovI(fCorridor, corridorHalf)
+	b.FMovI(fChroma, 18)
+	b.FMovI(fLumHi, 470)
+	b.FMovI(fLumLo, 180)
+	b.IMovI(rW, GridW)
+	b.IMovI(rLutC, AddrLutRowDistC)
+	b.IMovI(rLutL, AddrLutColLat)
+	b.IMovI(rLutS, AddrLutRowDistS)
+
+	// Perception.
+	emitScoreLoop(b, AddrWorkCenter, AddrGridCenter, CenterPx)
+	emitScoreLoop(b, AddrWorkLeft, AddrGridLeft, SidePx)
+	emitScoreLoop(b, AddrWorkRight, AddrGridRight, SidePx)
+	emitConv(b)
+	for _, row := range centroidRows {
+		emitRoadness(b, row)
+	}
+	emitCenterScan(b)
+	b.FMov(fSideDist, fBig)
+	emitSideScan(b, AddrGridLeft, GridW-8, GridW) // inner columns of the left camera
+	emitSideScan(b, AddrGridRight, 0, 8)          // inner columns of the right camera
+	b.FMovI(fM0, 0.7071)                          // cos 45°: side ranges are along the camera axis
+	b.FMul(fSideDist, fSideDist, fM0)
+	emitLaneEstimate(b, centroidRows[0], 0, fWp10)
+	emitLaneEstimate(b, centroidRows[1], 1, fWp75)
+	emitLaneEstimate(b, centroidRows[2], 2, fWp50)
+	emitLaneEstimate(b, centroidRows[3], 3, fWp33)
+
+	// Control. Load the marshaled scalars.
+	b.IMovI(rAddr, AddrScalarWork)
+	b.Ld(fSpeed, rAddr, 0)
+	b.Ld(fDt, rAddr, 1)
+	b.Ld(fLimit, rAddr, 2)
+	b.IMovI(rMisc, AddrState)
+
+	// Obstacle distance: min of center and side detections, then an EMA
+	// with fast onset (a suddenly-near obstacle takes effect immediately,
+	// a disappearing one decays).
+	b.FMin(fT0, fMinDist, fSideDist)
+	b.Ld(fT1, rMisc, offEMADist)
+	b.FMovI(fC0, ctrlEMA)
+	b.FMul(fT1, fT1, fC0)
+	b.FMovI(fC0, 1-ctrlEMA)
+	b.FMA(fT1, fT0, fC0, fT1)
+	b.FMovI(fC0, 2.0)
+	b.FAdd(fC1, fT0, fC0)
+	b.FMin(fT1, fT1, fC1)
+	b.St(rMisc, offEMADist, fT1) // fT1 = filtered obstacle distance
+
+	// Obstacle-proximity confidence (diagnostic state; exercises FEXP).
+	b.FMovI(fC0, -0.02)
+	b.FMul(fM0, fT1, fC0)
+	b.FExp(fM0, fM0)
+	b.St(rMisc, offConfidence, fM0)
+
+	// Safe speed from the planned deceleration: √(2·a·max(0, d−margin)).
+	b.FMovI(fC0, ctrlMargin)
+	b.FSub(fT2, fT1, fC0)
+	b.FMax(fT2, fT2, fZero)
+	b.FMovI(fC0, 2*ctrlDecel)
+	b.FMul(fT2, fT2, fC0)
+	b.FSqrt(fT2, fT2)
+
+	// Curve speed limit from the far waypoint's implied curvature.
+	b.FAbs(fT3, fWp10)
+	b.FMovI(fC0, 2.0/100.0) // 2/d² at d = 10 m
+	b.FMul(fT3, fT3, fC0)
+	b.FMovI(fC0, 1e-4)
+	b.FMax(fT3, fT3, fC0)
+	b.FMovI(fC0, ctrlLatAccMax)
+	b.FDiv(fT3, fC0, fT3)
+	b.FSqrt(fT3, fT3)
+
+	b.FMin(fTarget, fLimit, fT2)
+	b.FMin(fTarget, fTarget, fT3)
+
+	// Low-pass the target speed: the ground-row distance estimate is
+	// quantized, and chasing its jumps would dither the actuation
+	// commands (and with them the fault-free inter-agent divergence the
+	// detector thresholds must cover).
+	b.Ld(fPrev, rMisc, offPrevTarget)
+	b.FMovI(fC0, 0.7)
+	b.FMul(fPrev, fPrev, fC0)
+	b.FMovI(fC0, 0.3)
+	b.FMA(fTarget, fTarget, fC0, fPrev)
+	b.St(rMisc, offPrevTarget, fTarget)
+
+	// Speed PID.
+	b.FSub(fErr, fTarget, fSpeed)
+	b.Ld(fInteg, rMisc, offPIDInteg)
+	b.FMA(fInteg, fErr, fDt, fInteg)
+	b.FMovI(fC0, ctrlIntegClip)
+	b.FMin(fInteg, fInteg, fC0)
+	b.FNeg(fC1, fC0)
+	b.FMax(fInteg, fInteg, fC1)
+	b.St(rMisc, offPIDInteg, fInteg)
+	b.St(rMisc, offPrevErr, fErr)
+	b.FMovI(fC0, ctrlKp)
+	b.FMul(fCmd, fErr, fC0)
+	b.FMovI(fC0, ctrlKi)
+	b.FMA(fCmd, fInteg, fC0, fCmd)
+
+	b.FMax(fThrottle, fCmd, fZero)
+	b.FMin(fThrottle, fThrottle, fOne)
+	b.FNeg(fBrake, fCmd)
+	b.FMovI(fC0, ctrlBrakeGain)
+	b.FMul(fBrake, fBrake, fC0)
+	b.FMax(fBrake, fBrake, fZero)
+	b.FMin(fBrake, fBrake, fOne)
+
+	// Low-pass the longitudinal commands (actuator smoothing; also
+	// persistent state a permanent fault keeps corrupting).
+	b.FMovI(fC0, 0.5)
+	b.FMovI(fC1, 0.5)
+	b.Ld(fPrev, rMisc, offPrevThr)
+	b.FMul(fPrev, fPrev, fC0)
+	b.FMA(fThrottle, fThrottle, fC1, fPrev)
+	b.Ld(fPrev, rMisc, offPrevBrk)
+	b.FMul(fPrev, fPrev, fC0)
+	b.FMA(fBrake, fBrake, fC1, fPrev)
+
+	// Panic braking: ramps in as the filtered distance falls below
+	// 1.0·v + 3.5 m (full brake 3 m inside the boundary). A continuous
+	// ramp rather than bang-bang keeps the fault-free divergence between
+	// the two agents' brake commands bounded — the property the
+	// detector's thresholds rely on.
+	b.FMovI(fC0, 1.0)
+	b.FMul(fT4, fSpeed, fC0)
+	b.FMovI(fC0, 3.5)
+	b.FAdd(fT4, fT4, fC0)
+	b.FSub(fT5, fT4, fT1) // how far inside the panic boundary
+	b.FMovI(fC0, 1.0/3.0)
+	b.FMul(fT5, fT5, fC0)
+	b.FMax(fT5, fT5, fZero)
+	b.FMin(fT5, fT5, fOne) // panic factor p ∈ [0,1]
+	b.FSub(fC1, fOne, fT5)
+	b.FMul(fThrottle, fThrottle, fC1)
+	b.FMax(fBrake, fBrake, fT5)
+	b.St(rMisc, offPrevThr, fThrottle)
+	b.St(rMisc, offPrevBrk, fBrake)
+
+	// Steering: pure pursuit on the 7.5 m waypoint (already expressed as
+	// lane-center lateral error), tanh soft clip, low-pass blend.
+	b.FMov(fLatErr, fWp75)
+	b.FMul(fT5, fLatErr, fLatErr)
+	b.FMovI(fC0, 7.5*7.5)
+	b.FAdd(fT5, fT5, fC0)
+	b.FMovI(fC0, 2.0)
+	b.FMul(fSteer, fLatErr, fC0)
+	b.FDiv(fSteer, fSteer, fT5) // curvature
+	b.FMovI(fC0, wheelbase)
+	b.FMul(fSteer, fSteer, fC0)
+	b.FTanh(fSteer, fSteer)
+	b.FMovI(fC0, 1/maxSteerAngle)
+	b.FMul(fSteer, fSteer, fC0)
+	b.FMin(fSteer, fSteer, fOne)
+	b.FNeg(fC1, fOne)
+	b.FMax(fSteer, fSteer, fC1)
+	b.Ld(fPrev, rMisc, offPrevSteer)
+	b.FMovI(fC0, ctrlSteerMix)
+	b.FMul(fPrev, fPrev, fC0)
+	b.FMovI(fC0, 1-ctrlSteerMix)
+	b.FMul(fSteer, fSteer, fC0)
+	b.FAdd(fSteer, fSteer, fPrev)
+	b.St(rMisc, offPrevSteer, fSteer)
+
+	// Frame counter.
+	b.Ld(fC0, rMisc, offFrameCount)
+	b.FAdd(fC0, fC0, fOne)
+	b.St(rMisc, offFrameCount, fC0)
+
+	// Outputs.
+	b.IMovI(rAddr, AddrOut)
+	b.St(rAddr, 0, fThrottle)
+	b.St(rAddr, 1, fBrake)
+	b.St(rAddr, 2, fSteer)
+	b.St(rAddr, 3, fT1) // filtered obstacle distance
+	wpRegs := [4]int{fWp10, fWp75, fWp50, fWp33}
+	for i, row := range centroidRows {
+		b.FMovI(fC0, RowDistCenterLUT()[row])
+		b.St(rAddr, int64(4+2*i), fC0)
+		b.St(rAddr, int64(4+2*i+1), wpRegs[i])
+	}
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,366 @@
+// Package campaign implements the paper's Campaign Manager (§IV, Fig 3):
+// golden-run control experiments, fault-injection plan generation and
+// execution, Table I aggregation, detector training/evaluation over the
+// (td, rw) grid (Fig 7), lead-detection-time extraction (Fig 8), and the
+// missed-hazard estimate (§VI-A).
+package campaign
+
+import (
+	"runtime"
+	"sync"
+
+	"diverseav/internal/core"
+	"diverseav/internal/fi"
+	"diverseav/internal/geom"
+	"diverseav/internal/rng"
+	"diverseav/internal/scenario"
+	"diverseav/internal/sim"
+	"diverseav/internal/stats"
+	"diverseav/internal/trace"
+	"diverseav/internal/vm"
+)
+
+// Sizes configures campaign scale. Defaults are laptop-scale; Full
+// restores the paper's counts.
+type Sizes struct {
+	Transient int // transient injections per (target, scenario)
+	PermReps  int // repetitions of the full-ISA permanent sweep
+	// PermStride sweeps every PermStride-th opcode (1 = full ISA); used
+	// by the fast benchmark configuration.
+	PermStride int
+	Golden     int // golden runs per (scenario, mode)
+	Training   int // fault-free training runs per long route
+}
+
+// DefaultSizes is fast enough for `go test -bench` on one core.
+func DefaultSizes() Sizes {
+	return Sizes{Transient: 18, PermReps: 1, PermStride: 1, Golden: 10, Training: 2}
+}
+
+// BenchSizes keeps a full regeneration inside a few minutes on one core.
+func BenchSizes() Sizes {
+	return Sizes{Transient: 3, PermReps: 1, PermStride: 6, Golden: 3, Training: 1}
+}
+
+// FullSizes mirrors the paper's campaign scale (§IV-D): 500 transient
+// injections, 3 permanent repetitions per opcode, 50 golden runs.
+func FullSizes() Sizes {
+	return Sizes{Transient: 500, PermReps: 3, PermStride: 1, Golden: 50, Training: 4}
+}
+
+// RunRecord is one fault-injection experiment.
+type RunRecord struct {
+	Plan   fi.Plan
+	Result *sim.Result
+}
+
+// Activated reports whether the fault was actually injected (the paper's
+// "#Active").
+func (r RunRecord) Activated() bool { return r.Result.Activations > 0 }
+
+// Campaign is one (target, model, scenario) fault-injection campaign
+// with its golden control runs.
+type Campaign struct {
+	ScenarioName string
+	Mode         sim.Mode
+	Target       vm.Device
+	Model        fi.Model
+	Golden       []*sim.Result
+	Runs         []RunRecord
+	// Baseline is the mean golden trajectory (same mode), the reference
+	// for trajectory-violation labeling.
+	Baseline []geom.Vec2
+}
+
+// job abstracts the parallel runner's work unit.
+type job func()
+
+// runParallel executes jobs on GOMAXPROCS workers.
+func runParallel(jobs []job) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			j()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				j()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// Golden runs n fault-free experiments of the scenario in the given
+// mode, with distinct seeds derived from seedBase.
+func Golden(sc *scenario.Scenario, mode sim.Mode, n int, seedBase uint64) []*sim.Result {
+	out := make([]*sim.Result, n)
+	jobs := make([]job, n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = func() {
+			out[i] = sim.Run(sim.Config{
+				Scenario: sc,
+				Mode:     mode,
+				Seed:     seedBase + uint64(i)*7919,
+			})
+		}
+	}
+	runParallel(jobs)
+	return out
+}
+
+// Profile executes one fault-free profiling run and returns the dynamic
+// instruction profile of agent 0 (the NVBitFI/PinFI profiling pass).
+func Profile(sc *scenario.Scenario, mode sim.Mode, seed uint64) *fi.Profile {
+	var prof fi.Profile
+	sim.Run(sim.Config{Scenario: sc, Mode: mode, Seed: seed, Profile: &prof})
+	return &prof
+}
+
+// Run executes one fault-injection campaign: plans from the profile,
+// one simulation per plan, plus golden control runs.
+func Run(sc *scenario.Scenario, mode sim.Mode, target vm.Device, model fi.Model, sizes Sizes, seedBase uint64) *Campaign {
+	return RunWithGolden(sc, mode, target, model, sizes, seedBase, nil)
+}
+
+// RunWithGolden is Run with a pre-computed golden set (campaigns of the
+// same scenario and mode share their golden controls, like the paper's
+// 50 golden runs per scenario).
+func RunWithGolden(sc *scenario.Scenario, mode sim.Mode, target vm.Device, model fi.Model, sizes Sizes, seedBase uint64, golden []*sim.Result) *Campaign {
+	prof := Profile(sc, mode, seedBase)
+	planner := fi.NewPlanner(rng.New(seedBase ^ 0xfa017))
+	var plans []fi.Plan
+	if model == fi.Transient {
+		plans = planner.TransientPlans(target, prof, sizes.Transient)
+	} else {
+		plans = planner.PermanentPlans(target, sizes.PermReps)
+		if sizes.PermStride > 1 {
+			strided := plans[:0]
+			for i, p := range plans {
+				if i%sizes.PermStride == 0 {
+					strided = append(strided, p)
+				}
+			}
+			plans = strided
+		}
+	}
+	if golden == nil {
+		golden = Golden(sc, mode, sizes.Golden, seedBase+1000)
+	}
+
+	c := &Campaign{
+		ScenarioName: sc.Name,
+		Mode:         mode,
+		Target:       target,
+		Model:        model,
+		Golden:       golden,
+		Runs:         make([]RunRecord, len(plans)),
+	}
+	agentPick := rng.New(seedBase ^ 0xa6e27)
+	faultAgents := make([]int, len(plans))
+	for i := range faultAgents {
+		faultAgents[i] = agentPick.Intn(2)
+	}
+	jobs := make([]job, len(plans))
+	for i := range plans {
+		i := i
+		jobs[i] = func() {
+			plan := plans[i]
+			res := sim.Run(sim.Config{
+				Scenario:   sc,
+				Mode:       mode,
+				Seed:       seedBase + 5000 + uint64(i)*104729,
+				Fault:      &plan,
+				FaultAgent: faultAgents[i],
+			})
+			c.Runs[i] = RunRecord{Plan: plan, Result: res}
+		}
+	}
+	runParallel(jobs)
+
+	goldenTraces := make([]*trace.Trace, 0, len(c.Golden))
+	for _, g := range c.Golden {
+		goldenTraces = append(goldenTraces, g.Trace)
+	}
+	c.Baseline = sim.MeanTrajectory(goldenTraces)
+	return c
+}
+
+// Hazard labels one run against the baseline: an accident, or a
+// trajectory divergence of at least td meters (the paper's safety
+// violations).
+func (c *Campaign) Hazard(res *sim.Result, td float64) bool {
+	if res.Trace.Collided() {
+		return true
+	}
+	return sim.MaxTrajectoryDivergence(res.Trace, c.Baseline) >= td
+}
+
+// Table1Row is one row of the paper's Table I.
+type Table1Row struct {
+	Target       string
+	Model        string
+	Scenario     string
+	Active       int
+	HangCrash    int
+	Total        int
+	Accidents    int
+	TrajViolates int // trajectory violation without accident, td = 2 m
+}
+
+// Table1Row aggregates the campaign at the paper's td = 2 m.
+func (c *Campaign) Table1Row(td float64) Table1Row {
+	row := Table1Row{
+		Target:   c.Target.String(),
+		Model:    c.Model.String(),
+		Scenario: c.ScenarioName,
+		Total:    len(c.Runs),
+	}
+	for _, r := range c.Runs {
+		if r.Activated() || r.Result.Trace.DUE() {
+			row.Active++
+		}
+		switch {
+		case r.Result.Trace.DUE():
+			row.HangCrash++
+		case r.Result.Trace.Collided():
+			row.Accidents++
+		case sim.MaxTrajectoryDivergence(r.Result.Trace, c.Baseline) >= td:
+			row.TrajViolates++
+		}
+	}
+	return row
+}
+
+// EvalCell is one point of the Fig 7 precision/recall grid.
+type EvalCell struct {
+	TD float64
+	RW int
+	stats.Confusion
+	GoldenAlarms int
+}
+
+// Evaluate runs the detector over every fault-injected and golden run of
+// the campaigns, for every (td, rw) combination. Platform-detected DUEs
+// are excluded from the confusion: they are caught by the crash/hang
+// channel, not by the statistical detector under evaluation (the paper
+// likewise evaluates the detector on runs that survive to produce
+// outputs).
+func Evaluate(det *core.Detector, mode core.CompareMode, camps []*Campaign, tds []float64, rws []int) []EvalCell {
+	var cells []EvalCell
+	for _, td := range tds {
+		for _, rw := range rws {
+			d := det.WithRW(rw)
+			cell := EvalCell{TD: td, RW: rw}
+			for _, c := range camps {
+				for _, r := range c.Runs {
+					if r.Result.Trace.DUE() {
+						continue
+					}
+					if !r.Activated() {
+						// Inactive faults are golden-equivalent runs;
+						// count them as negatives.
+						_, alarmed := d.Detect(r.Result.Trace, mode)
+						cell.Add(false, alarmed)
+						continue
+					}
+					_, alarmed := d.Detect(r.Result.Trace, mode)
+					cell.Add(c.Hazard(r.Result, td), alarmed)
+				}
+				for _, g := range c.Golden {
+					_, alarmed := d.Detect(g.Trace, mode)
+					cell.Add(false, alarmed)
+					if alarmed {
+						cell.GoldenAlarms++
+					}
+				}
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells
+}
+
+// LeadTimes returns, for every true-positive accident run, the lead
+// detection time in seconds (collision time − alarm time), the Fig 8
+// distribution.
+func LeadTimes(det *core.Detector, mode core.CompareMode, camps []*Campaign) []float64 {
+	var out []float64
+	for _, c := range camps {
+		for _, r := range c.Runs {
+			tr := r.Result.Trace
+			if tr.DUE() || !tr.Collided() {
+				continue
+			}
+			alarm, ok := det.Detect(tr, mode)
+			if !ok || alarm.Step > tr.CollisionStep {
+				continue
+			}
+			out = append(out, float64(tr.CollisionStep-alarm.Step)/tr.Hz)
+		}
+	}
+	return out
+}
+
+// MissedHazards counts fault-injected runs that were safety hazards (at
+// td) yet raised no alarm, over the total number of injections — the
+// paper's §VI-A missed-hazard probability.
+func MissedHazards(det *core.Detector, mode core.CompareMode, camps []*Campaign, td float64) (missed, total int) {
+	for _, c := range camps {
+		for _, r := range c.Runs {
+			total++
+			tr := r.Result.Trace
+			if tr.DUE() {
+				continue // platform-detected
+			}
+			if _, alarmed := det.Detect(tr, mode); !alarmed && c.Hazard(r.Result, td) {
+				missed++
+			}
+		}
+	}
+	return missed, total
+}
+
+// TrainDetector runs fault-free training experiments on the three long
+// routes in the given mode and trains a detector from them (§III-D: the
+// detector is trained only on long scenarios, never on the test
+// scenarios or on faulty runs).
+func TrainDetector(cfg core.Config, mode sim.Mode, cmp core.CompareMode, perRoute int, seedBase uint64) *core.Detector {
+	det := core.NewDetector(cfg, cmp)
+	var traces []*trace.Trace
+	var mu sync.Mutex
+	var jobs []job
+	for ri, sc := range scenario.TrainingRoutes() {
+		for k := 0; k < perRoute; k++ {
+			sc, ri, k := sc, ri, k
+			jobs = append(jobs, func() {
+				res := sim.Run(sim.Config{
+					Scenario: sc,
+					Mode:     mode,
+					Seed:     seedBase + uint64(ri*100+k)*6151,
+				})
+				mu.Lock()
+				traces = append(traces, res.Trace)
+				mu.Unlock()
+			})
+		}
+	}
+	runParallel(jobs)
+	det.Train(traces, cmp)
+	return det
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"diverseav/internal/trace"
+)
+
+// synthTrace builds a round-robin style trace: agents alternate, each
+// step carries one valid command, vehicle cruising at the given speed.
+// divergence injects an extra |Δ| onto the throttle channel starting at
+// fromStep.
+func synthTrace(steps int, baseThr, divergence float64, fromStep int) *trace.Trace {
+	tr := &trace.Trace{Scenario: "synth", Mode: "diverseav", Hz: 40, Outcome: trace.OutcomeCompleted}
+	for i := 0; i < steps; i++ {
+		id := i % 2
+		thr := baseThr
+		if id == 1 && i >= fromStep {
+			thr += divergence
+		}
+		s := trace.Step{T: float64(i) / 40, V: 10, A: 0, AgentID: id}
+		s.Cmd[id] = trace.Cmd{Valid: true, Throttle: thr, Brake: 0, Steer: 0}
+		tr.Steps = append(tr.Steps, s)
+		tr.EndStep = i
+	}
+	return tr
+}
+
+func testConfig() Config {
+	return Config{RW: 3, Margin: 0.10, Epsilon: 0.02, Hold: 4, Warmup: 20}
+}
+
+func TestDivergencesAlternating(t *testing.T) {
+	tr := synthTrace(100, 0.5, 0.2, 0)
+	samples := Divergences(tr, CompareAlternating)
+	if len(samples) != 99 {
+		t.Fatalf("samples = %d, want 99", len(samples))
+	}
+	for _, s := range samples {
+		if math.Abs(s.DThrottle-0.2) > 1e-9 {
+			t.Fatalf("throttle divergence = %v, want 0.2", s.DThrottle)
+		}
+	}
+}
+
+func TestDivergencesTemporalSkipsMissing(t *testing.T) {
+	tr := synthTrace(50, 0.5, 0, 0)
+	// In this trace agent 0 only commands on even steps, so temporal
+	// comparison (agent 0 vs its own previous step) finds no adjacent
+	// pairs.
+	if got := Divergences(tr, CompareTemporal); len(got) != 0 {
+		t.Fatalf("temporal samples = %d, want 0 on alternating trace", len(got))
+	}
+}
+
+func TestDivergencesDuplicate(t *testing.T) {
+	tr := &trace.Trace{Hz: 40}
+	for i := 0; i < 10; i++ {
+		var s trace.Step
+		s.AgentID = 0
+		s.Cmd[0] = trace.Cmd{Valid: true, Throttle: 0.5}
+		s.Cmd[1] = trace.Cmd{Valid: true, Throttle: 0.6}
+		tr.Steps = append(tr.Steps, s)
+	}
+	samples := Divergences(tr, CompareDuplicate)
+	if len(samples) != 10 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	if math.Abs(samples[0].DThrottle-0.1) > 1e-9 {
+		t.Errorf("duplicate divergence = %v", samples[0].DThrottle)
+	}
+}
+
+func TestDetectorQuietOnTrainedBehavior(t *testing.T) {
+	det := NewDetector(testConfig(), CompareAlternating)
+	train := synthTrace(2000, 0.5, 0.05, 0) // constant small divergence
+	det.Train([]*trace.Trace{train}, CompareAlternating, 3)
+	test := synthTrace(2000, 0.5, 0.05, 0)
+	if alarm, ok := det.Detect(test, CompareAlternating); ok {
+		t.Fatalf("false alarm: %+v", alarm)
+	}
+}
+
+func TestDetectorAlarmsOnSustainedDivergence(t *testing.T) {
+	det := NewDetector(testConfig(), CompareAlternating)
+	det.Train([]*trace.Trace{synthTrace(2000, 0.5, 0.05, 0)}, CompareAlternating, 3)
+	// A faulty agent diverging by 0.4 from step 500 on.
+	faulty := synthTrace(2000, 0.5, 0.4, 500)
+	alarm, ok := det.Detect(faulty, CompareAlternating)
+	if !ok {
+		t.Fatal("sustained divergence not detected")
+	}
+	if alarm.Channel != "throttle" {
+		t.Errorf("alarm channel = %s", alarm.Channel)
+	}
+	if alarm.Step < 500 || alarm.Step > 520 {
+		t.Errorf("alarm at step %d, want shortly after 500", alarm.Step)
+	}
+}
+
+func TestDetectorIgnoresShortBlip(t *testing.T) {
+	cfg := testConfig()
+	// A one-step command blip touches two alternating samples and so
+	// inflates rw+1 consecutive rolling means; hold above that bound
+	// suppresses it while sustained divergence still alarms.
+	cfg.Hold = cfg.RW + 3
+	det := NewDetector(cfg, CompareAlternating)
+	det.Train([]*trace.Trace{synthTrace(2000, 0.5, 0.05, 0)}, CompareAlternating, 3)
+	blip := synthTrace(2000, 0.5, 0.05, 0)
+	blip.Steps[800].Cmd[0].Throttle = 1.0
+	if alarm, ok := det.Detect(blip, CompareAlternating); ok {
+		t.Fatalf("blip raised an alarm: %+v", alarm)
+	}
+}
+
+func TestDetectorWarmupSuppression(t *testing.T) {
+	det := NewDetector(testConfig(), CompareAlternating)
+	det.Train([]*trace.Trace{synthTrace(2000, 0.5, 0.05, 0)}, CompareAlternating, 3)
+	// Divergence only within the warm-up window.
+	early := synthTrace(2000, 0.5, 0.05, 0)
+	for i := 0; i < 15; i++ {
+		early.Steps[i].Cmd[i%2].Throttle = 1.0
+	}
+	if _, ok := det.Detect(early, CompareAlternating); ok {
+		t.Fatal("warm-up divergence raised an alarm")
+	}
+}
+
+func TestDetectorDUEPolicyAlarm(t *testing.T) {
+	det := NewDetector(testConfig(), CompareAlternating)
+	tr := synthTrace(100, 0.5, 0, 0)
+	tr.Outcome = trace.OutcomeCrash
+	alarm, ok := det.Detect(tr, CompareAlternating)
+	if !ok || alarm.Channel != "platform" {
+		t.Fatalf("DUE policy alarm missing: %+v ok=%v", alarm, ok)
+	}
+}
+
+func TestDetectorPerBinThresholds(t *testing.T) {
+	det := NewDetector(testConfig(), CompareAlternating)
+	// Training: large divergence at high speed, small at low speed.
+	high := synthTrace(1000, 0.5, 0.3, 0)
+	low := synthTrace(1000, 0.5, 0.02, 0)
+	for i := range low.Steps {
+		low.Steps[i].V = 2
+	}
+	det.Train([]*trace.Trace{high, low}, CompareAlternating, 3)
+	// 0.2 divergence at low speed should alarm (bin threshold 0.02)...
+	lowTest := synthTrace(1000, 0.5, 0.2, 300)
+	for i := range lowTest.Steps {
+		lowTest.Steps[i].V = 2
+	}
+	if _, ok := det.Detect(lowTest, CompareAlternating); !ok {
+		t.Error("low-speed divergence above its bin threshold not detected")
+	}
+	// ...while the same divergence at high speed stays under its bin's
+	// trained threshold.
+	highTest := synthTrace(1000, 0.5, 0.2, 300)
+	if _, ok := det.Detect(highTest, CompareAlternating); ok {
+		t.Error("high-speed divergence under its bin threshold raised an alarm")
+	}
+}
+
+func TestWithRWIndependence(t *testing.T) {
+	det := NewDetector(testConfig(), CompareAlternating)
+	det.Train([]*trace.Trace{synthTrace(500, 0.5, 0.05, 0)}, CompareAlternating, 3, 10)
+	d10 := det.WithRW(10)
+	if d10.Cfg.RW != 10 || det.Cfg.RW != 3 {
+		t.Error("WithRW mutated the original")
+	}
+	if !det.Trained(3) || !det.Trained(10) || det.Trained(7) {
+		t.Error("Trained() bookkeeping wrong")
+	}
+}
+
+func TestDetectorSaveLoadRoundTrip(t *testing.T) {
+	det := NewDetector(testConfig(), CompareAlternating)
+	det.Train([]*trace.Trace{synthTrace(500, 0.5, 0.07, 0)}, CompareAlternating, 3)
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gThr1, _, _ := det.Global()
+	gThr2, _, _ := loaded.Global()
+	if gThr1 != gThr2 {
+		t.Errorf("global thresholds differ after round trip: %v vs %v", gThr1, gThr2)
+	}
+	// Detection behavior must match.
+	faulty := synthTrace(2000, 0.5, 0.4, 500)
+	_, ok1 := det.Detect(faulty, CompareAlternating)
+	_, ok2 := loaded.Detect(faulty, CompareAlternating)
+	if ok1 != ok2 {
+		t.Error("loaded detector behaves differently")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("{nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestBinKeysStable(t *testing.T) {
+	b := DefaultBins()
+	if b.LongKey(10, 0) != b.LongKey(10.1, 0.1) {
+		t.Error("nearby states land in different bins")
+	}
+	if b.LongKey(0, 0) == b.LongKey(20, 0) {
+		t.Error("distant speeds share a bin")
+	}
+	if b.LatKey(0, 0) == b.LatKey(0.5, 0) {
+		t.Error("distant yaw rates share a bin")
+	}
+	// Extremes clamp rather than collide with NaN-ish keys.
+	if b.LongKey(1e9, -1e9) < 0 {
+		t.Error("extreme state produced a negative key")
+	}
+}
+
+func TestCompareModeString(t *testing.T) {
+	if CompareAlternating.String() != "alternating" ||
+		CompareDuplicate.String() != "duplicate" ||
+		CompareTemporal.String() != "temporal" {
+		t.Error("compare mode names wrong")
+	}
+}

@@ -1,0 +1,84 @@
+// Package fabric models the compute platform's capacity and accounts
+// resource utilization for the paper's Table II: CPU/GPU utilization and
+// RAM/VRAM footprints of the single-agent, DiverseAV and fully-duplicated
+// configurations.
+//
+// Device capacities are calibrated so that the single-agent Sensorimotor
+// workload lands at the paper's measured utilization (4% CPU, 14% GPU on
+// the Xeon E5-2699v4 + Titan Xp testbed); what the experiment then shows
+// is structural — DiverseAV's two half-rate agents need the same compute
+// as one full-rate agent but twice the memory, while full duplication
+// needs twice the processors.
+package fabric
+
+import (
+	"diverseav/internal/agent"
+	"diverseav/internal/sensor"
+	"diverseav/internal/trace"
+)
+
+// Calibrated device capacities, in VM instructions per second.
+const (
+	// CPUCapacity makes the single agent's marshaling load ≈ 4%.
+	CPUCapacity = 38.6e6
+	// GPUCapacity makes the single agent's vision/control load ≈ 14%.
+	GPUCapacity = 17.8e6
+)
+
+// Usage is one configuration's resource summary (one Table II row).
+type Usage struct {
+	Config string
+	// Utilization fractions, per processor.
+	CPUUtil float64
+	GPUUtil float64
+	// Memory footprints in bytes, total across agents.
+	RAMBytes  int
+	VRAMBytes int
+	// Processors provisioned.
+	CPUs, GPUs int
+}
+
+// perAgentRAM is the host-side footprint per agent: the fabric memory
+// image plus the triple camera frame buffers.
+func perAgentRAM() int {
+	return agent.MemWords*8 + 3*sensor.FrameW*sensor.FrameH*3
+}
+
+// perAgentVRAM is the GPU-resident footprint per agent: working buffers,
+// score grids, conv output, road grid, LUTs, state and outputs (all fabric
+// words above the staging region).
+func perAgentVRAM() int {
+	return (agent.MemWords - agent.AddrWork) * 8
+}
+
+// Account summarizes a run's resource usage from its trace. simSeconds
+// is the simulated duration; FD runs report per-processor utilization on
+// their dedicated devices (the paper's footnote to Table II).
+func Account(tr *trace.Trace, fd bool) Usage {
+	sec := tr.Duration()
+	if sec <= 0 {
+		sec = 1
+	}
+	agents := 1
+	if tr.InstrCPU[1] > 0 || tr.InstrGPU[1] > 0 {
+		agents = 2
+	}
+	u := Usage{
+		RAMBytes:  agents * perAgentRAM(),
+		VRAMBytes: agents * perAgentVRAM(),
+		CPUs:      1,
+		GPUs:      1,
+	}
+	totalCPU := float64(tr.InstrCPU[0] + tr.InstrCPU[1])
+	totalGPU := float64(tr.InstrGPU[0] + tr.InstrGPU[1])
+	if fd {
+		// Dedicated processors: per-processor utilization is one
+		// agent's load.
+		u.CPUs, u.GPUs = 2, 2
+		totalCPU /= float64(agents)
+		totalGPU /= float64(agents)
+	}
+	u.CPUUtil = totalCPU / sec / CPUCapacity
+	u.GPUUtil = totalGPU / sec / GPUCapacity
+	return u
+}

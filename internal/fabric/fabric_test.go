@@ -1,0 +1,76 @@
+package fabric
+
+import (
+	"math"
+	"testing"
+
+	"diverseav/internal/trace"
+)
+
+// syntheticTrace mirrors a golden run's accounting fields: n agents at
+// the given per-second instruction rates over 30 simulated seconds.
+func syntheticTrace(agents int, cpuRate, gpuRate float64) *trace.Trace {
+	tr := &trace.Trace{Hz: 40}
+	for i := 0; i < 1200; i++ {
+		tr.Steps = append(tr.Steps, trace.Step{})
+	}
+	per := 30.0
+	tr.InstrCPU[0] = uint64(cpuRate * per)
+	tr.InstrGPU[0] = uint64(gpuRate * per)
+	if agents == 2 {
+		tr.InstrCPU[1] = tr.InstrCPU[0]
+		tr.InstrGPU[1] = tr.InstrGPU[0]
+	}
+	return tr
+}
+
+func TestSingleAgentCalibration(t *testing.T) {
+	// A single agent at the calibrated rates lands at the paper's 4% CPU
+	// and 14% GPU utilization.
+	tr := syntheticTrace(1, 0.04*CPUCapacity, 0.14*GPUCapacity)
+	u := Account(tr, false)
+	if math.Abs(u.CPUUtil-0.04) > 1e-9 || math.Abs(u.GPUUtil-0.14) > 1e-9 {
+		t.Errorf("utilization = %.3f/%.3f, want 0.04/0.14", u.CPUUtil, u.GPUUtil)
+	}
+	if u.CPUs != 1 || u.GPUs != 1 {
+		t.Errorf("processors = %d/%d", u.CPUs, u.GPUs)
+	}
+}
+
+func TestDiverseAVStructure(t *testing.T) {
+	single := Account(syntheticTrace(1, 1e6, 2e6), false)
+	// DiverseAV: two agents, each at HALF the rate (they alternate
+	// frames) on the same processor — total compute equals single.
+	dual := Account(syntheticTrace(2, 0.5e6, 1e6), false)
+	if math.Abs(dual.CPUUtil-single.CPUUtil) > 1e-9 {
+		t.Errorf("DiverseAV CPU %.4f != single %.4f", dual.CPUUtil, single.CPUUtil)
+	}
+	if dual.RAMBytes != 2*single.RAMBytes || dual.VRAMBytes != 2*single.VRAMBytes {
+		t.Errorf("DiverseAV memory not 2×: %d vs %d", dual.RAMBytes, single.RAMBytes)
+	}
+	if dual.CPUs != 1 {
+		t.Error("DiverseAV should share one processor")
+	}
+}
+
+func TestFDStructure(t *testing.T) {
+	single := Account(syntheticTrace(1, 1e6, 2e6), false)
+	// FD: two agents at FULL rate on dedicated processors.
+	fd := Account(syntheticTrace(2, 1e6, 2e6), true)
+	if math.Abs(fd.CPUUtil-single.CPUUtil) > 1e-9 {
+		t.Errorf("FD per-processor CPU %.4f != single %.4f", fd.CPUUtil, single.CPUUtil)
+	}
+	if fd.CPUs != 2 || fd.GPUs != 2 {
+		t.Errorf("FD processors = %d/%d, want 2/2", fd.CPUs, fd.GPUs)
+	}
+	if fd.RAMBytes != 2*single.RAMBytes {
+		t.Error("FD memory not 2×")
+	}
+}
+
+func TestAccountEmptyTrace(t *testing.T) {
+	u := Account(&trace.Trace{Hz: 40}, false)
+	if u.CPUUtil != 0 || u.GPUUtil != 0 {
+		t.Errorf("empty trace utilization = %+v", u)
+	}
+}

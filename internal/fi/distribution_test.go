@@ -1,0 +1,79 @@
+package fi
+
+import (
+	"testing"
+
+	"diverseav/internal/rng"
+	"diverseav/internal/vm"
+)
+
+func TestTransientPlansRoughlyUniform(t *testing.T) {
+	var prof Profile
+	prof.InstrCount[vm.GPU] = 1_000_000
+	p := NewPlanner(rng.New(3))
+	plans := p.TransientPlans(vm.GPU, &prof, 4000)
+	// Split the stream into quarters: each should get ≈ 1000 plans.
+	var quarters [4]int
+	for _, pl := range plans {
+		quarters[(pl.DynIndex-1)*4/1_000_000]++
+	}
+	for i, q := range quarters {
+		if q < 850 || q > 1150 {
+			t.Errorf("quarter %d got %d plans, want ≈ 1000 (uniformity)", i, q)
+		}
+	}
+}
+
+func TestDrawBitDistribution(t *testing.T) {
+	p := NewPlanner(rng.New(4))
+	var prof Profile
+	prof.InstrCount[vm.CPU] = 100
+	low, high := 0, 0
+	for _, pl := range p.TransientPlans(vm.CPU, &prof, 5000) {
+		if pl.Bit < 40 {
+			low++
+		} else {
+			high++
+		}
+	}
+	// 70% low-significance / 30% severe, ±5 points.
+	frac := float64(low) / 5000
+	if frac < 0.65 || frac > 0.75 {
+		t.Errorf("low-bit fraction = %.3f, want ≈ 0.70", frac)
+	}
+	if high == 0 {
+		t.Error("no severe bits drawn")
+	}
+}
+
+func TestPermanentPlansDrawFreshBitsPerRep(t *testing.T) {
+	p := NewPlanner(rng.New(5))
+	plans := p.PermanentPlans(vm.GPU, 2)
+	half := len(plans) / 2
+	same := 0
+	for i := 0; i < half; i++ {
+		if plans[i].Bit == plans[half+i].Bit {
+			same++
+		}
+	}
+	if same == half {
+		t.Error("repetitions reuse identical bit positions")
+	}
+}
+
+func TestInjectorPlanAccessors(t *testing.T) {
+	plan := Plan{Target: vm.GPU, Model: Permanent, Opcode: vm.FADD, Bit: 9}
+	inj := NewInjector(plan)
+	if inj.Plan() != plan {
+		t.Error("plan accessor mismatch")
+	}
+	if inj.Activations() != 0 {
+		t.Error("fresh injector has activations")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if Transient.String() != "transient" || Permanent.String() != "permanent" {
+		t.Error("model names wrong")
+	}
+}

@@ -1,0 +1,213 @@
+// Package fi implements the fault-injection tooling of the reproduction:
+// the analogue of NVBitFI (GPU) and PinFI (CPU) in the paper's §IV-D.
+//
+// The fault model follows §II-B exactly: a random hardware fault is
+// emulated by XOR-ing the destination register of an executing opcode
+// with a mask. A transient fault corrupts the destination of exactly one
+// dynamic instruction; a permanent fault corrupts the destination of all
+// dynamic instances of a selected opcode. Injectors attach to a
+// vm.Machine through its writeback hook.
+package fi
+
+import (
+	"fmt"
+
+	"diverseav/internal/rng"
+	"diverseav/internal/vm"
+)
+
+// Model selects the fault model.
+type Model uint8
+
+// Fault models.
+const (
+	// Transient corrupts the destination of one dynamic instruction.
+	Transient Model = iota
+	// Permanent corrupts the destination of every dynamic instance of a
+	// selected opcode.
+	Permanent
+)
+
+// String returns "transient" or "permanent".
+func (m Model) String() string {
+	if m == Permanent {
+		return "permanent"
+	}
+	return "transient"
+}
+
+// Plan is one injection experiment's configuration, produced by a
+// Planner and executed by an Injector.
+type Plan struct {
+	Target vm.Device `json:"target"`
+	Model  Model     `json:"model"`
+
+	// DynIndex is the 1-based dynamic instruction index to corrupt
+	// (transient model only).
+	DynIndex uint64 `json:"dyn_index,omitempty"`
+
+	// Opcode is the opcode whose dynamic instances are corrupted
+	// (permanent model only).
+	Opcode vm.Opcode `json:"opcode,omitempty"`
+
+	// Bit is the bit position XOR-ed into the destination value.
+	Bit uint `json:"bit"`
+}
+
+// Mask returns the XOR mask for the plan.
+func (p Plan) Mask() uint64 { return 1 << (p.Bit & 63) }
+
+// String describes the plan for logs and reports.
+func (p Plan) String() string {
+	if p.Model == Permanent {
+		return fmt.Sprintf("%s-permanent op=%s bit=%d", p.Target, p.Opcode, p.Bit)
+	}
+	return fmt.Sprintf("%s-transient dyn=%d bit=%d", p.Target, p.DynIndex, p.Bit)
+}
+
+// Injector applies a Plan to a machine's writeback stream. It is not
+// safe for concurrent use; each experiment run owns its injector.
+type Injector struct {
+	plan        Plan
+	activations uint64
+}
+
+// NewInjector creates an injector for the plan.
+func NewInjector(plan Plan) *Injector {
+	return &Injector{plan: plan}
+}
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Activations returns how many writebacks were corrupted. Zero means the
+// fault was never activated (e.g., a transient target index the run never
+// reached) — the paper's "#Active" column.
+func (in *Injector) Activations() uint64 { return in.activations }
+
+// Hook is the vm.FaultHook to install on the target machine.
+func (in *Injector) Hook(ev vm.WriteEvent) uint64 {
+	if ev.Device != in.plan.Target {
+		return 0
+	}
+	switch in.plan.Model {
+	case Transient:
+		if ev.DynIndex != in.plan.DynIndex || in.activations > 0 {
+			return 0
+		}
+	case Permanent:
+		if ev.Op != in.plan.Opcode {
+			return 0
+		}
+	}
+	in.activations++
+	return in.plan.Mask()
+}
+
+// Profile records, per device, the dynamic instruction stream length and
+// which opcodes actually execute, measured on a golden (fault-free) run.
+// Planners draw transient targets from the stream length so every plan
+// addresses a real instruction, like NVBitFI's profiling pass.
+type Profile struct {
+	InstrCount  [2]uint64              `json:"instr_count"` // indexed by vm.Device
+	OpcodesSeen [2][vm.NumOpcodes]bool `json:"opcodes_seen"`
+}
+
+// Observe returns a vm.FaultHook that records the profile without
+// corrupting anything. Install it for a golden profiling run.
+func (pr *Profile) Observe() vm.FaultHook {
+	return func(ev vm.WriteEvent) uint64 {
+		pr.InstrCount[ev.Device] = ev.DynIndex
+		pr.OpcodesSeen[ev.Device][ev.Op] = true
+		return 0
+	}
+}
+
+// ActiveOpcodes returns the opcodes that execute on the device, the
+// permanent-fault campaign's sweep set (the paper sweeps all ISA opcodes;
+// opcodes that never execute are trivially inactive, so we report them as
+// inactive runs rather than executing them).
+func (pr *Profile) ActiveOpcodes(d vm.Device) []vm.Opcode {
+	var ops []vm.Opcode
+	for op := 0; op < vm.NumOpcodes; op++ {
+		if pr.OpcodesSeen[d][op] {
+			ops = append(ops, vm.Opcode(op))
+		}
+	}
+	return ops
+}
+
+// Planner generates injection plans, seeded deterministically.
+type Planner struct {
+	r *rng.Rand
+}
+
+// NewPlanner creates a planner with its own RNG stream.
+func NewPlanner(r *rng.Rand) *Planner {
+	return &Planner{r: r}
+}
+
+// TransientPlans draws n uniform transient plans over the device's
+// dynamic instruction stream, as profiled. Bits are drawn uniformly over
+// a 32-bit destination (matching the paper's 32-bit register files); for
+// float destinations the bit is placed within the low 32 bits of the
+// IEEE-754 significand half or the high half with equal probability, so
+// both negligible and catastrophic corruptions occur.
+func (p *Planner) TransientPlans(target vm.Device, prof *Profile, n int) []Plan {
+	plans := make([]Plan, 0, n)
+	streamLen := prof.InstrCount[target]
+	for i := 0; i < n; i++ {
+		var dyn uint64
+		if streamLen > 0 {
+			dyn = 1 + p.r.Uint64()%streamLen
+		}
+		plans = append(plans, Plan{
+			Target:   target,
+			Model:    Transient,
+			DynIndex: dyn,
+			Bit:      p.drawBit(),
+		})
+	}
+	return plans
+}
+
+// PermanentPlans returns one plan per ISA opcode per repetition, the
+// paper's permanent campaign structure (171 GPU / 131 CPU opcodes × 3
+// reps there; vm.NumOpcodes × reps here). Each repetition redraws the
+// bit position.
+func (p *Planner) PermanentPlans(target vm.Device, reps int) []Plan {
+	plans := make([]Plan, 0, vm.NumOpcodes*reps)
+	for rep := 0; rep < reps; rep++ {
+		for op := 0; op < vm.NumOpcodes; op++ {
+			if vm.Opcode(op).Dest() == vm.DestNone {
+				// Control-flow opcodes have no destination register; the
+				// real injectors skip them too. Keep them in the sweep as
+				// guaranteed-inactive runs would waste a full simulation,
+				// so they are excluded here and counted as inactive by
+				// the campaign.
+				continue
+			}
+			plans = append(plans, Plan{
+				Target: target,
+				Model:  Permanent,
+				Opcode: vm.Opcode(op),
+				Bit:    p.drawBit(),
+			})
+		}
+	}
+	return plans
+}
+
+// drawBit picks the XOR bit position. Destinations are 64-bit words in
+// this VM but model 32-bit architectural registers: we draw within
+// [0, 52) of the mantissa plus exponent bits with a bias that yields a
+// realistic mix of masked (low-significance) and severe
+// (exponent/high-mantissa) corruptions.
+func (p *Planner) drawBit() uint {
+	// 70% low mantissa bits (often masked), 30% high mantissa/exponent
+	// (severe). Sign bit included in the severe band.
+	if p.r.Float64() < 0.7 {
+		return uint(p.r.Intn(40))
+	}
+	return uint(40 + p.r.Intn(24))
+}

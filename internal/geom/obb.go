@@ -1,0 +1,112 @@
+package geom
+
+import "math"
+
+// OBB is an oriented bounding box in the road plane: the footprint of a
+// vehicle. Center is the box center, HalfL and HalfW the half-extents
+// along and across the heading, Yaw the heading.
+type OBB struct {
+	Center Vec2
+	HalfL  float64
+	HalfW  float64
+	Yaw    float64
+}
+
+// Corners returns the four corners of the box in counterclockwise order.
+func (b OBB) Corners() [4]Vec2 {
+	f := Vec2{math.Cos(b.Yaw), math.Sin(b.Yaw)}.Scale(b.HalfL)
+	r := Vec2{math.Sin(b.Yaw), -math.Cos(b.Yaw)}.Scale(b.HalfW)
+	return [4]Vec2{
+		b.Center.Add(f).Add(r),
+		b.Center.Add(f).Sub(r),
+		b.Center.Sub(f).Sub(r),
+		b.Center.Sub(f).Add(r),
+	}
+}
+
+// Intersects reports whether the two boxes overlap, using the separating
+// axis theorem on the four face normals.
+func (b OBB) Intersects(o OBB) bool {
+	axes := [4]Vec2{
+		{math.Cos(b.Yaw), math.Sin(b.Yaw)},
+		{-math.Sin(b.Yaw), math.Cos(b.Yaw)},
+		{math.Cos(o.Yaw), math.Sin(o.Yaw)},
+		{-math.Sin(o.Yaw), math.Cos(o.Yaw)},
+	}
+	bc, oc := b.Corners(), o.Corners()
+	for _, ax := range axes {
+		bmin, bmax := projectCorners(bc, ax)
+		omin, omax := projectCorners(oc, ax)
+		if bmax < omin || omax < bmin {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether point q lies inside (or on the boundary of)
+// the box.
+func (b OBB) Contains(q Vec2) bool {
+	local := q.Sub(b.Center).Rot(-b.Yaw)
+	return math.Abs(local.X) <= b.HalfL && math.Abs(local.Y) <= b.HalfW
+}
+
+func projectCorners(c [4]Vec2, axis Vec2) (lo, hi float64) {
+	lo = c[0].Dot(axis)
+	hi = lo
+	for i := 1; i < 4; i++ {
+		d := c[i].Dot(axis)
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	return lo, hi
+}
+
+// RayBoxDistance returns the distance from origin along direction dir
+// (unit vector) to the first intersection with box b, or +Inf if the ray
+// misses. Used by the LiDAR ray-caster.
+func RayBoxDistance(origin, dir Vec2, b OBB) float64 {
+	// Transform the ray into the box frame, reducing to a slab test.
+	o := origin.Sub(b.Center).Rot(-b.Yaw)
+	d := dir.Rot(-b.Yaw)
+	tmin, tmax := math.Inf(-1), math.Inf(1)
+	for i := 0; i < 2; i++ {
+		var oc, dc, half float64
+		if i == 0 {
+			oc, dc, half = o.X, d.X, b.HalfL
+		} else {
+			oc, dc, half = o.Y, d.Y, b.HalfW
+		}
+		if math.Abs(dc) < 1e-12 {
+			if math.Abs(oc) > half {
+				return math.Inf(1)
+			}
+			continue
+		}
+		t1 := (-half - oc) / dc
+		t2 := (half - oc) / dc
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		if t1 > tmin {
+			tmin = t1
+		}
+		if t2 < tmax {
+			tmax = t2
+		}
+		if tmin > tmax {
+			return math.Inf(1)
+		}
+	}
+	if tmax < 0 {
+		return math.Inf(1)
+	}
+	if tmin < 0 {
+		return 0 // origin is inside the box
+	}
+	return tmin
+}

@@ -1,0 +1,164 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOBBCorners(t *testing.T) {
+	b := OBB{Center: V2(0, 0), HalfL: 2, HalfW: 1, Yaw: 0}
+	c := b.Corners()
+	want := [4]Vec2{{2, -1}, {2, 1}, {-2, 1}, {-2, -1}}
+	for i := range c {
+		found := false
+		for j := range want {
+			if approx(c[i].X, want[j].X) && approx(c[i].Y, want[j].Y) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("corner %v not in expected set", c[i])
+		}
+	}
+}
+
+func TestOBBIntersectsOverlap(t *testing.T) {
+	a := OBB{Center: V2(0, 0), HalfL: 2, HalfW: 1}
+	b := OBB{Center: V2(3, 0), HalfL: 2, HalfW: 1}
+	if !a.Intersects(b) {
+		t.Error("overlapping boxes reported separate")
+	}
+	c := OBB{Center: V2(5, 0), HalfL: 2, HalfW: 1}
+	if a.Intersects(c) {
+		t.Error("separated boxes reported overlapping")
+	}
+}
+
+func TestOBBIntersectsRotated(t *testing.T) {
+	a := OBB{Center: V2(0, 0), HalfL: 2, HalfW: 0.5}
+	// A box diagonal across a's corner: axis-aligned tests would miss
+	// the separation that SAT finds.
+	b := OBB{Center: V2(2.8, 1.5), HalfL: 2, HalfW: 0.5, Yaw: math.Pi / 4}
+	if a.Intersects(b) != b.Intersects(a) {
+		t.Error("Intersects not symmetric")
+	}
+	// Touching along rotated geometry.
+	c := OBB{Center: V2(0, 1.2), HalfL: 2, HalfW: 0.5, Yaw: math.Pi / 2}
+	if !a.Intersects(c) {
+		t.Error("crossing boxes reported separate")
+	}
+}
+
+func TestOBBIntersectsSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, yawA, yawB float64) bool {
+		if anyBad(ax, ay, bx, by, yawA, yawB) {
+			return true
+		}
+		a := OBB{Center: V2(clampT(ax), clampT(ay)), HalfL: 2.4, HalfW: 1.0, Yaw: yawA}
+		b := OBB{Center: V2(clampT(bx), clampT(by)), HalfL: 2.4, HalfW: 1.0, Yaw: yawB}
+		return a.Intersects(b) == b.Intersects(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOBBSelfIntersects(t *testing.T) {
+	b := OBB{Center: V2(7, -2), HalfL: 2, HalfW: 1, Yaw: 0.3}
+	if !b.Intersects(b) {
+		t.Error("box does not intersect itself")
+	}
+}
+
+func TestOBBFarApartNeverIntersects(t *testing.T) {
+	f := func(yawA, yawB float64) bool {
+		if math.IsNaN(yawA) || math.IsNaN(yawB) {
+			return true
+		}
+		a := OBB{Center: V2(0, 0), HalfL: 2.4, HalfW: 1.0, Yaw: yawA}
+		b := OBB{Center: V2(100, 0), HalfL: 2.4, HalfW: 1.0, Yaw: yawB}
+		return !a.Intersects(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOBBContains(t *testing.T) {
+	b := OBB{Center: V2(0, 0), HalfL: 2, HalfW: 1, Yaw: math.Pi / 2}
+	// Rotated 90°: long axis now along Y.
+	if !b.Contains(V2(0, 1.9)) {
+		t.Error("point along rotated long axis not contained")
+	}
+	if b.Contains(V2(1.9, 0)) {
+		t.Error("point outside rotated box contained")
+	}
+}
+
+func TestRayBoxDistance(t *testing.T) {
+	b := OBB{Center: V2(10, 0), HalfL: 2, HalfW: 1, Yaw: 0}
+	d := RayBoxDistance(V2(0, 0), V2(1, 0), b)
+	if !approx(d, 8) {
+		t.Errorf("distance = %v, want 8", d)
+	}
+	// Miss.
+	d = RayBoxDistance(V2(0, 0), V2(0, 1), b)
+	if !math.IsInf(d, 1) {
+		t.Errorf("miss distance = %v, want +Inf", d)
+	}
+	// Behind the origin.
+	d = RayBoxDistance(V2(0, 0), V2(-1, 0), b)
+	if !math.IsInf(d, 1) {
+		t.Errorf("behind distance = %v, want +Inf", d)
+	}
+	// Origin inside.
+	d = RayBoxDistance(V2(10, 0), V2(1, 0), b)
+	if d != 0 {
+		t.Errorf("inside distance = %v, want 0", d)
+	}
+}
+
+func TestRayBoxDistanceRotated(t *testing.T) {
+	b := OBB{Center: V2(0, 10), HalfL: 3, HalfW: 1, Yaw: math.Pi / 2}
+	// Box long axis along Y, so from the origin heading +Y the near face
+	// is at y = 10 - 3 = 7.
+	d := RayBoxDistance(V2(0, 0), V2(0, 1), b)
+	if math.Abs(d-7) > 1e-9 {
+		t.Errorf("distance = %v, want 7", d)
+	}
+}
+
+func TestRayBoxHitPointOnBoundary(t *testing.T) {
+	f := func(yaw, angle float64) bool {
+		if math.IsNaN(yaw) || math.IsNaN(angle) || math.Abs(yaw) > 10 || math.Abs(angle) > 10 {
+			return true
+		}
+		b := OBB{Center: V2(20, 0), HalfL: 2.4, HalfW: 1.1, Yaw: yaw}
+		dir := V2(math.Cos(angle/10), math.Sin(angle/10))
+		d := RayBoxDistance(V2(0, 0), dir, b)
+		if math.IsInf(d, 1) {
+			return true
+		}
+		hit := V2(0, 0).Add(dir.Scale(d))
+		// The hit point must lie on (or within numeric tolerance of) the
+		// box boundary.
+		local := hit.Sub(b.Center).Rot(-b.Yaw)
+		return math.Abs(local.X) <= b.HalfL+1e-6 && math.Abs(local.Y) <= b.HalfW+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func anyBad(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func clampT(x float64) float64 { return math.Mod(x, 10) }

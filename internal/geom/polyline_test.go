@@ -1,0 +1,155 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func line(t *testing.T, pts ...Vec2) *Polyline {
+	t.Helper()
+	pl, err := NewPolyline(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestPolylineRejectsDegenerate(t *testing.T) {
+	if _, err := NewPolyline(nil); err == nil {
+		t.Error("nil points accepted")
+	}
+	if _, err := NewPolyline([]Vec2{{1, 1}}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := NewPolyline([]Vec2{{1, 1}, {1, 1}}); err == nil {
+		t.Error("duplicate-only points accepted")
+	}
+}
+
+func TestPolylineDropsDuplicates(t *testing.T) {
+	pl := line(t, V2(0, 0), V2(0, 0), V2(1, 0), V2(1, 0), V2(2, 0))
+	if got := pl.Length(); !approx(got, 2) {
+		t.Errorf("Length = %v", got)
+	}
+	if got := len(pl.Points()); got != 3 {
+		t.Errorf("points = %d, want 3", got)
+	}
+}
+
+func TestPolylineLength(t *testing.T) {
+	pl := line(t, V2(0, 0), V2(3, 0), V2(3, 4))
+	if got := pl.Length(); !approx(got, 7) {
+		t.Errorf("Length = %v, want 7", got)
+	}
+}
+
+func TestPolylineAt(t *testing.T) {
+	pl := line(t, V2(0, 0), V2(10, 0), V2(10, 10))
+	cases := []struct {
+		s    float64
+		want Vec2
+	}{
+		{0, V2(0, 0)},
+		{5, V2(5, 0)},
+		{10, V2(10, 0)},
+		{15, V2(10, 5)},
+		{20, V2(10, 10)},
+		{-5, V2(0, 0)},    // clamped
+		{100, V2(10, 10)}, // clamped
+	}
+	for _, c := range cases {
+		got := pl.At(c.s)
+		if !approx(got.X, c.want.X) || !approx(got.Y, c.want.Y) {
+			t.Errorf("At(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestPolylinePoseAtHeading(t *testing.T) {
+	pl := line(t, V2(0, 0), V2(10, 0), V2(10, 10))
+	_, yaw := pl.PoseAt(5)
+	if !approx(yaw, 0) {
+		t.Errorf("heading on first segment = %v", yaw)
+	}
+	_, yaw = pl.PoseAt(15)
+	if !approx(yaw, math.Pi/2) {
+		t.Errorf("heading on second segment = %v", yaw)
+	}
+}
+
+func TestPolylineProject(t *testing.T) {
+	pl := line(t, V2(0, 0), V2(10, 0))
+	s, lat := pl.Project(V2(4, 2))
+	if !approx(s, 4) {
+		t.Errorf("station = %v, want 4", s)
+	}
+	if !approx(lat, 2) {
+		t.Errorf("lateral = %v, want 2 (left positive)", lat)
+	}
+	s, lat = pl.Project(V2(7, -3))
+	if !approx(s, 7) || !approx(lat, -3) {
+		t.Errorf("project right side = (%v, %v)", s, lat)
+	}
+	// Beyond the end: clamps to the end point.
+	s, _ = pl.Project(V2(20, 0))
+	if !approx(s, 10) {
+		t.Errorf("station past end = %v", s)
+	}
+}
+
+func TestPolylineProjectRoundTrip(t *testing.T) {
+	pl := line(t, V2(0, 0), V2(50, 0), V2(50, 50), V2(0, 50))
+	f := func(sRaw float64) bool {
+		if math.IsNaN(sRaw) {
+			return true
+		}
+		s := math.Mod(math.Abs(sRaw), pl.Length())
+		p := pl.At(s)
+		s2, lat := pl.Project(p)
+		// Corner points can project to either adjacent segment; station
+		// must agree and the lateral offset must be ~0.
+		return math.Abs(s2-s) < 1e-6 && math.Abs(lat) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStraightBuilder(t *testing.T) {
+	pts, end := Straight(nil, V2(0, 0), 0, 100, 10)
+	if !approx(end.X, 100) || !approx(end.Y, 0) {
+		t.Errorf("end = %v", end)
+	}
+	if len(pts) < 10 {
+		t.Errorf("too few samples: %d", len(pts))
+	}
+}
+
+func TestArcBuilder(t *testing.T) {
+	// Quarter turn left with radius 10 starting east: ends heading north
+	// at (10, 10).
+	pts, end, yaw := Arc([]Vec2{{0, 0}}, V2(0, 0), 0, 10, math.Pi/2, 1)
+	if !approx(yaw, math.Pi/2) {
+		t.Errorf("end yaw = %v", yaw)
+	}
+	if math.Abs(end.X-10) > 1e-6 || math.Abs(end.Y-10) > 1e-6 {
+		t.Errorf("end = %v, want (10,10)", end)
+	}
+	pl := line(t, pts...)
+	wantLen := math.Pi / 2 * 10
+	if math.Abs(pl.Length()-wantLen) > 0.1 {
+		t.Errorf("arc length = %v, want ≈ %v", pl.Length(), wantLen)
+	}
+}
+
+func TestArcBuilderRightTurn(t *testing.T) {
+	_, end, yaw := Arc(nil, V2(0, 0), math.Pi/2, 5, -math.Pi/2, 0.5)
+	// Start heading north, quarter turn right: end heading east at (5, 5).
+	if !approx(yaw, 0) {
+		t.Errorf("end yaw = %v", yaw)
+	}
+	if math.Abs(end.X-5) > 1e-6 || math.Abs(end.Y-5) > 1e-6 {
+		t.Errorf("end = %v, want (5,5)", end)
+	}
+}

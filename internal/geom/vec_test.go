@@ -1,0 +1,208 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestVec2Arithmetic(t *testing.T) {
+	a, b := V2(1, 2), V2(3, -4)
+	if got := a.Add(b); got != V2(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V2(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V2(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Cross(b); got != -4-6 {
+		t.Errorf("Cross = %v", got)
+	}
+}
+
+func TestVec2LenDist(t *testing.T) {
+	if got := V2(3, 4).Len(); !approx(got, 5) {
+		t.Errorf("Len = %v", got)
+	}
+	if got := V2(3, 4).LenSq(); !approx(got, 25) {
+		t.Errorf("LenSq = %v", got)
+	}
+	if got := V2(1, 1).Dist(V2(4, 5)); !approx(got, 5) {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestVec2Norm(t *testing.T) {
+	n := V2(10, 0).Norm()
+	if !approx(n.X, 1) || !approx(n.Y, 0) {
+		t.Errorf("Norm = %v", n)
+	}
+	z := V2(0, 0).Norm()
+	if z != V2(0, 0) {
+		t.Errorf("Norm(0) = %v, want zero vector", z)
+	}
+}
+
+func TestVec2Rot(t *testing.T) {
+	r := V2(1, 0).Rot(math.Pi / 2)
+	if !approx(r.X, 0) || !approx(r.Y, 1) {
+		t.Errorf("Rot(π/2) = %v", r)
+	}
+	p := V2(2, 3).Perp()
+	if p != V2(-3, 2) {
+		t.Errorf("Perp = %v", p)
+	}
+}
+
+func TestVec2RotRoundTrip(t *testing.T) {
+	f := func(x, y, theta float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) ||
+			math.IsNaN(theta) || math.Abs(theta) > 1e6 || math.Abs(x) > 1e6 || math.Abs(y) > 1e6 {
+			return true
+		}
+		v := V2(x, y)
+		back := v.Rot(theta).Rot(-theta)
+		return math.Abs(back.X-x) < 1e-6 && math.Abs(back.Y-y) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVec2Lerp(t *testing.T) {
+	a, b := V2(0, 0), V2(10, 20)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != V2(5, 10) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestVec3(t *testing.T) {
+	a, b := V3(1, 2, 3), V3(4, 6, 3)
+	if got := a.Dist(b); !approx(got, 5) {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := a.Add(b); got != V3(5, 8, 6) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != V3(3, 4, 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V3(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.XY(); got != V2(1, 2) {
+		t.Errorf("XY = %v", got)
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-math.Pi / 2, -math.Pi / 2},
+		{5 * math.Pi / 2, math.Pi / 2},
+	}
+	for _, c := range cases {
+		if got := NormalizeAngle(c.in); !approx(got, c.want) {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeAngleProperty(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.Abs(a) > 1e9 {
+			return true
+		}
+		n := NormalizeAngle(a)
+		if n <= -math.Pi-eps || n > math.Pi+eps {
+			return false
+		}
+		// Same direction: sin and cos must match.
+		return math.Abs(math.Sin(n)-math.Sin(a)) < 1e-6 &&
+			math.Abs(math.Cos(n)-math.Cos(a)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	if got := AngleDiff(0.1, -0.1); !approx(got, 0.2) {
+		t.Errorf("AngleDiff = %v", got)
+	}
+	// Across the wrap point.
+	if got := AngleDiff(math.Pi-0.1, -math.Pi+0.1); !approx(got, -0.2) {
+		t.Errorf("AngleDiff across wrap = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp high = %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp low = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp mid = %v", got)
+	}
+}
+
+func TestPoseTransformRoundTrip(t *testing.T) {
+	p := Pose{Pos: V2(10, -3), Yaw: 0.7}
+	w := V2(4, 9)
+	back := p.ToWorld(p.ToLocal(w))
+	if !approx(back.X, w.X) || !approx(back.Y, w.Y) {
+		t.Errorf("round trip = %v, want %v", back, w)
+	}
+}
+
+func TestPoseLocalFrame(t *testing.T) {
+	// A pose heading +Y: a point directly ahead should be local (d, 0).
+	p := Pose{Pos: V2(0, 0), Yaw: math.Pi / 2}
+	l := p.ToLocal(V2(0, 5))
+	if !approx(l.X, 5) || !approx(l.Y, 0) {
+		t.Errorf("ToLocal ahead = %v", l)
+	}
+	// A point to the left (negative X in world) is local +Y.
+	l = p.ToLocal(V2(-2, 0))
+	if !approx(l.X, 0) || !approx(l.Y, 2) {
+		t.Errorf("ToLocal left = %v", l)
+	}
+}
+
+func TestPoseForwardRight(t *testing.T) {
+	p := Pose{Yaw: 0}
+	if f := p.Forward(); !approx(f.X, 1) || !approx(f.Y, 0) {
+		t.Errorf("Forward = %v", f)
+	}
+	if r := p.Right(); !approx(r.X, 0) || !approx(r.Y, -1) {
+		t.Errorf("Right = %v", r)
+	}
+	// Forward and right are always orthogonal.
+	for yaw := -3.0; yaw < 3.0; yaw += 0.37 {
+		q := Pose{Yaw: yaw}
+		if d := q.Forward().Dot(q.Right()); !approx(d, 0) {
+			t.Errorf("Forward·Right at yaw=%v: %v", yaw, d)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package kitti
+
+import (
+	"testing"
+
+	"diverseav/internal/stats"
+)
+
+func shortConfig() Config {
+	c := DefaultConfig()
+	c.Frames = 40
+	return c
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(shortConfig())
+	b := Generate(shortConfig())
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		for p := range a[i].Cams[0] {
+			if a[i].Cams[0][p] != b[i].Cams[0][p] {
+				t.Fatalf("frame %d differs at byte %d", i, p)
+			}
+		}
+		if a[i].IMU != b[i].IMU {
+			t.Fatalf("IMU differs at frame %d", i)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	seq := Generate(shortConfig())
+	if len(seq) != 40 {
+		t.Fatalf("frames = %d", len(seq))
+	}
+	for i, f := range seq {
+		if len(f.Cams[0]) == 0 || len(f.Cams[1]) == 0 {
+			t.Fatalf("frame %d missing camera data", i)
+		}
+		if len(f.Labels) != shortConfig().Objects {
+			t.Fatalf("frame %d labels = %d", i, len(f.Labels))
+		}
+	}
+}
+
+func TestStereoCamerasDiffer(t *testing.T) {
+	seq := Generate(shortConfig())
+	same := 0
+	f := seq[0]
+	for p := range f.Cams[0] {
+		if f.Cams[0][p] == f.Cams[1][p] {
+			same++
+		}
+	}
+	if same == len(f.Cams[0]) {
+		t.Error("the two cameras produced identical frames (independent noise missing)")
+	}
+}
+
+func TestLidarHasReturns(t *testing.T) {
+	seq := Generate(shortConfig())
+	total := 0
+	for _, f := range seq {
+		total += len(f.Lidar)
+	}
+	if total == 0 {
+		t.Fatal("no LiDAR returns across the drive")
+	}
+}
+
+func TestMeasureMatchesPaperBands(t *testing.T) {
+	seq := Generate(DefaultConfig())
+	d := Measure(seq)
+
+	cam50 := stats.Percentile(d.CameraBits, 50)
+	if cam50 < 4 || cam50 > 12 {
+		t.Errorf("camera p50 = %v bits, want near the paper's 8", cam50)
+	}
+	imu50 := stats.Percentile(d.IMUBits, 50)
+	if imu50 < 8 || imu50 > 18 {
+		t.Errorf("IMU p50 = %v bits, want near the paper's 11", imu50)
+	}
+	lidar50 := stats.Percentile(d.LidarBits, 50)
+	if lidar50 < 8 || lidar50 > 20 {
+		t.Errorf("LiDAR p50 = %v bits, want near the paper's 14", lidar50)
+	}
+
+	// Semantic consistency: objects move a small fraction of the frame
+	// between consecutive frames.
+	bbox90 := stats.Percentile(d.BBoxShift, 90)
+	if bbox90 <= 0 || bbox90 > 5 {
+		t.Errorf("bbox p90 shift = %v px, want small but nonzero", bbox90)
+	}
+	c3d90 := stats.Percentile(d.Center3DShift, 90)
+	if c3d90 <= 0 || c3d90 > 2 {
+		t.Errorf("3-D p90 shift = %v m, want small but nonzero", c3d90)
+	}
+}
+
+func TestMeasureEmptyishSequence(t *testing.T) {
+	cfg := shortConfig()
+	cfg.Frames = 2
+	d := Measure(Generate(cfg))
+	if len(d.CameraBits) == 0 {
+		t.Error("two frames should still yield one comparison")
+	}
+}

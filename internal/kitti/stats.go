@@ -1,0 +1,61 @@
+package kitti
+
+import (
+	"math"
+
+	"diverseav/internal/sensor"
+)
+
+// Diversity summarizes the §V-A temporal-diversity and
+// semantic-consistency statistics of a recorded drive.
+type Diversity struct {
+	// Per-pixel camera bit flips between consecutive frames (of 24).
+	CameraBits []float64
+	// Per-word IMU+GPS bit flips between consecutive readings (of 32).
+	IMUBits []float64
+	// Per-word LiDAR bit flips between consecutive scans (of 32).
+	LidarBits []float64
+	// 2-D bounding-box center shift between consecutive frames, pixels.
+	BBoxShift []float64
+	// 3-D object-center shift in the ego frame, meters.
+	Center3DShift []float64
+}
+
+// Measure computes all §V-A statistics over a sequence.
+func Measure(seq []FrameData) Diversity {
+	var d Diversity
+	for i := 1; i < len(seq); i++ {
+		prev, cur := &seq[i-1], &seq[i]
+		for _, n := range sensor.BitDiffPerPixel(prev.Cams[0], cur.Cams[0]) {
+			d.CameraBits = append(d.CameraBits, float64(n))
+		}
+		for _, n := range sensor.FloatBitDiff(prev.IMU.Words(), cur.IMU.Words()) {
+			d.IMUBits = append(d.IMUBits, float64(n))
+		}
+		for _, n := range sensor.FloatBitDiff(flatten(prev.Lidar), flatten(cur.Lidar)) {
+			d.LidarBits = append(d.LidarBits, float64(n))
+		}
+		for j := range cur.Labels {
+			if j >= len(prev.Labels) {
+				break
+			}
+			a, b := prev.Labels[j], cur.Labels[j]
+			if a.ID != b.ID {
+				continue
+			}
+			if a.Visible && b.Visible {
+				d.BBoxShift = append(d.BBoxShift, math.Hypot(b.U-a.U, b.V-a.V))
+			}
+			d.Center3DShift = append(d.Center3DShift, b.Center3D.Dist(a.Center3D))
+		}
+	}
+	return d
+}
+
+func flatten(pts []sensor.Point) []float32 {
+	out := make([]float32, 0, len(pts)*3)
+	for _, p := range pts {
+		out = append(out, p.X, p.Y, p.Z)
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package physics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"diverseav/internal/geom"
+)
+
+const dt = 1.0 / 40
+
+func TestControlsClamp(t *testing.T) {
+	c := Controls{Throttle: 2, Brake: -1, Steer: -5}.Clamp()
+	if c.Throttle != 1 || c.Brake != 0 || c.Steer != -1 {
+		t.Errorf("clamped = %+v", c)
+	}
+	n := Controls{Throttle: math.NaN(), Brake: math.NaN(), Steer: math.NaN()}.Clamp()
+	if n.Throttle != 0 || n.Brake != 0 || n.Steer != -1 {
+		t.Errorf("NaN clamp = %+v", n)
+	}
+}
+
+func TestVehicleAcceleratesUnderThrottle(t *testing.T) {
+	v := NewVehicle("test", geom.Pose{})
+	for i := 0; i < 200; i++ {
+		v.Step(Controls{Throttle: 1}, dt)
+	}
+	if v.State.V < 10 {
+		t.Errorf("speed after 5s full throttle = %v", v.State.V)
+	}
+	if v.State.Pose.Pos.X <= 0 {
+		t.Errorf("vehicle did not move forward: %v", v.State.Pose.Pos)
+	}
+	if math.Abs(v.State.Pose.Pos.Y) > 1e-9 {
+		t.Errorf("straight-line drive drifted laterally: %v", v.State.Pose.Pos.Y)
+	}
+}
+
+func TestVehicleBrakesToStop(t *testing.T) {
+	v := NewVehicle("test", geom.Pose{})
+	v.State.V = 10
+	steps := 0
+	for v.State.V > 0 && steps < 400 {
+		v.Step(Controls{Brake: 1}, dt)
+		steps++
+	}
+	if v.State.V != 0 {
+		t.Fatalf("vehicle never stopped")
+	}
+	// 10 m/s at 8 m/s² ≈ 1.25 s = 50 steps.
+	if steps < 40 || steps > 70 {
+		t.Errorf("stop took %d steps, want ≈ 50", steps)
+	}
+	// No reverse.
+	v.Step(Controls{Brake: 1}, dt)
+	if v.State.V < 0 {
+		t.Error("braking reversed the vehicle")
+	}
+}
+
+func TestVehicleSpeedNeverNegativeProperty(t *testing.T) {
+	f := func(thr, brk, steer float64, steps uint8) bool {
+		v := NewVehicle("p", geom.Pose{})
+		c := Controls{Throttle: thr, Brake: brk, Steer: steer}
+		for i := 0; i < int(steps); i++ {
+			v.Step(c, dt)
+			if v.State.V < 0 || v.State.V > MaxSpeed {
+				return false
+			}
+			if math.IsNaN(v.State.Pose.Pos.X) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVehicleTurnsLeftWithPositiveSteer(t *testing.T) {
+	v := NewVehicle("test", geom.Pose{})
+	v.State.V = 8
+	for i := 0; i < 40; i++ {
+		v.Step(Controls{Throttle: 0.3, Steer: 0.5}, dt)
+	}
+	if v.State.Pose.Yaw <= 0 {
+		t.Errorf("yaw = %v after left steer, want positive", v.State.Pose.Yaw)
+	}
+	if v.State.Pose.Pos.Y <= 0 {
+		t.Errorf("y = %v after left steer, want positive", v.State.Pose.Pos.Y)
+	}
+}
+
+func TestVehicleTurnRadiusMatchesBicycleModel(t *testing.T) {
+	v := NewVehicle("test", geom.Pose{})
+	v.State.V = 5
+	steer := 0.5
+	// Maintain speed with light throttle against drag.
+	for i := 0; i < 400; i++ {
+		v.Step(Controls{Throttle: 0.075, Steer: steer}, dt)
+	}
+	wantOmega := v.State.V / Wheelbase * math.Tan(steer*MaxSteerAngle)
+	if math.Abs(v.State.Omega-wantOmega) > 0.05*wantOmega {
+		t.Errorf("omega = %v, want ≈ %v", v.State.Omega, wantOmega)
+	}
+}
+
+func TestVehicleReportsIMUQuantities(t *testing.T) {
+	v := NewVehicle("test", geom.Pose{})
+	v.Step(Controls{Throttle: 1}, dt)
+	if v.State.A <= 0 {
+		t.Errorf("acceleration = %v under full throttle", v.State.A)
+	}
+	v.State.V = 10
+	v.Step(Controls{Steer: 1}, dt)
+	if v.State.Omega == 0 || v.State.AlphaDot == 0 {
+		t.Error("yaw rate/accel not reported")
+	}
+}
+
+func TestTeleport(t *testing.T) {
+	v := NewVehicle("test", geom.Pose{})
+	v.State.V = 5
+	v.State.Omega = 1
+	v.Teleport(geom.Pose{Pos: geom.V2(10, 20), Yaw: 1}, 3)
+	if v.State.Pose.Pos != geom.V2(10, 20) || v.State.V != 3 || v.State.Omega != 0 {
+		t.Errorf("teleport state = %+v", v.State)
+	}
+}
+
+func TestCollides(t *testing.T) {
+	a := NewVehicle("a", geom.Pose{})
+	b := NewVehicle("b", geom.Pose{Pos: geom.V2(4.4, 0)})
+	if !Collides(a, b) {
+		t.Error("nose-to-tail overlap not detected")
+	}
+	b.Teleport(geom.Pose{Pos: geom.V2(4.6, 0)}, 0)
+	if Collides(a, b) {
+		t.Error("separated vehicles collide")
+	}
+	// Side by side in adjacent lanes: no collision.
+	b.Teleport(geom.Pose{Pos: geom.V2(0, 3.5)}, 0)
+	if Collides(a, b) {
+		t.Error("adjacent-lane vehicles collide")
+	}
+}
+
+func TestCVIP(t *testing.T) {
+	ego := NewVehicle("ego", geom.Pose{})
+	lead := NewVehicle("lead", geom.Pose{Pos: geom.V2(20, 0)})
+	adjacent := NewVehicle("adj", geom.Pose{Pos: geom.V2(10, 3.5)})
+	behind := NewVehicle("behind", geom.Pose{Pos: geom.V2(-10, 0)})
+	d, ok := CVIP(ego, []*Vehicle{lead, adjacent, behind}, 2.2, 80)
+	if !ok {
+		t.Fatal("no CVIP found")
+	}
+	want := 20.0 - ego.HalfL - lead.HalfL
+	if math.Abs(d-want) > 1e-9 {
+		t.Errorf("CVIP = %v, want %v (bumper to bumper)", d, want)
+	}
+	// Out of range.
+	if _, ok := CVIP(ego, []*Vehicle{behind}, 2.2, 80); ok {
+		t.Error("vehicle behind counted as in path")
+	}
+	// Overlapping clamps to zero.
+	close := NewVehicle("close", geom.Pose{Pos: geom.V2(3, 0)})
+	d, _ = CVIP(ego, []*Vehicle{close}, 2.2, 80)
+	if d != 0 {
+		t.Errorf("overlapping CVIP = %v, want 0", d)
+	}
+}
+
+func TestLaneFollowerTracksStraightPath(t *testing.T) {
+	path := geom.MustPolyline([]geom.Vec2{{X: 0, Y: 0}, {X: 500, Y: 0}})
+	v := NewVehicle("npc", geom.Pose{})
+	f := NewLaneFollower(v, path, 10, 8)
+	for i := 0; i < 400; i++ {
+		f.Step(dt)
+	}
+	if math.Abs(v.State.V-8) > 0.3 {
+		t.Errorf("speed = %v, want ≈ 8", v.State.V)
+	}
+	if math.Abs(v.State.Pose.Pos.Y) > 0.2 {
+		t.Errorf("lateral drift = %v", v.State.Pose.Pos.Y)
+	}
+	if f.Station() < 80 {
+		t.Errorf("station = %v after 10s at 8 m/s", f.Station())
+	}
+}
+
+func TestLaneFollowerTracksCurve(t *testing.T) {
+	pts, _, _ := geom.Arc([]geom.Vec2{{X: 0, Y: 0}}, geom.V2(0, 0), 0, 40, math.Pi, 2)
+	path := geom.MustPolyline(pts)
+	v := NewVehicle("npc", geom.Pose{})
+	f := NewLaneFollower(v, path, 5, 6)
+	for i := 0; i < 800; i++ {
+		f.Step(dt)
+		_, lat := path.Project(v.State.Pose.Pos)
+		if math.Abs(lat) > 1.0 {
+			t.Fatalf("left the lane at step %d: lateral %v", i, lat)
+		}
+	}
+}
+
+func TestLaneFollowerEmergencyBrake(t *testing.T) {
+	path := geom.MustPolyline([]geom.Vec2{{X: 0, Y: 0}, {X: 500, Y: 0}})
+	v := NewVehicle("npc", geom.Pose{})
+	f := NewLaneFollower(v, path, 0, 10)
+	f.EmergencyBrake()
+	for i := 0; i < 200; i++ {
+		f.Step(dt)
+	}
+	if v.State.V > 0.1 {
+		t.Errorf("speed after emergency brake = %v", v.State.V)
+	}
+}
+
+func TestLaneFollowerSwitchPath(t *testing.T) {
+	a := geom.MustPolyline([]geom.Vec2{{X: 0, Y: 0}, {X: 500, Y: 0}})
+	bPath := geom.MustPolyline([]geom.Vec2{{X: 0, Y: 3.5}, {X: 500, Y: 3.5}})
+	v := NewVehicle("npc", geom.Pose{})
+	f := NewLaneFollower(v, a, 10, 8)
+	f.SwitchPath(bPath)
+	for i := 0; i < 600; i++ {
+		f.Step(dt)
+	}
+	if math.Abs(v.State.Pose.Pos.Y-3.5) > 0.3 {
+		t.Errorf("did not converge to the new path: y = %v", v.State.Pose.Pos.Y)
+	}
+}

@@ -1,0 +1,222 @@
+// Package report regenerates every table and figure of the paper's
+// evaluation as text reports: it orchestrates detector training, the
+// twelve fault-injection campaigns, the baseline-comparison campaigns and
+// the characterization experiments, and formats the results. Both
+// cmd/experiments and the repository benchmarks drive this package.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"diverseav/internal/campaign"
+	"diverseav/internal/core"
+	"diverseav/internal/fi"
+	"diverseav/internal/scenario"
+	"diverseav/internal/sim"
+	"diverseav/internal/stats"
+	"diverseav/internal/vm"
+)
+
+// Options configures a study.
+type Options struct {
+	Sizes campaign.Sizes
+	TDs   []float64
+	RWs   []int
+	Seed  uint64
+	// Log receives progress lines (nil = silent).
+	Log io.Writer
+}
+
+// DefaultOptions is the scale used by cmd/experiments.
+func DefaultOptions() Options {
+	return Options{
+		Sizes: campaign.DefaultSizes(),
+		TDs:   []float64{1, 2, 3, 4, 5},
+		RWs:   core.DefaultRWs(),
+		Seed:  2022,
+	}
+}
+
+// BenchOptions keeps a full study inside a few minutes on one core.
+func BenchOptions() Options {
+	o := DefaultOptions()
+	o.Sizes = campaign.BenchSizes()
+	o.TDs = []float64{1, 2, 3}
+	o.RWs = []int{3, 10, 30}
+	return o
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// Study holds everything the campaign-based sections need: trained
+// detectors and the executed campaigns in all three agent modes.
+type Study struct {
+	Opts Options
+	// Detectors per comparison scheme, trained on the fault-free long
+	// routes in the matching agent mode.
+	Det       *core.Detector // DiverseAV (alternating)
+	FDDet     *core.Detector // full-duplication baseline
+	SingleDet *core.Detector // single-agent temporal baseline
+	// RR holds the twelve DiverseAV campaigns (2 targets × 2 models × 3
+	// scenarios); FD and Single hold the GPU campaigns of the baselines.
+	RR     []*campaign.Campaign
+	FD     []*campaign.Campaign
+	Single []*campaign.Campaign
+}
+
+// NewStudy trains the detectors and runs every campaign.
+func NewStudy(o Options) *Study {
+	s := &Study{Opts: o}
+	o.logf("training DiverseAV detector (round-robin long routes)")
+	s.Det = campaign.TrainDetector(core.DefaultConfig(), sim.RoundRobin, core.CompareAlternating, o.Sizes.Training, o.Seed)
+	o.logf("training FD baseline detector (duplicate long routes)")
+	s.FDDet = campaign.TrainDetector(core.DefaultConfig(), sim.Duplicate, core.CompareDuplicate, o.Sizes.Training, o.Seed+101)
+	o.logf("training single-agent baseline detector (single long routes)")
+	s.SingleDet = campaign.TrainDetector(core.DefaultConfig(), sim.Single, core.CompareTemporal, o.Sizes.Training, o.Seed+202)
+
+	for si, sc := range scenario.SafetyCritical() {
+		base := o.Seed + uint64(si)*1_000_000
+		goldenRR := campaign.Golden(sc, sim.RoundRobin, o.Sizes.Golden, base+1000)
+		for _, target := range []vm.Device{vm.GPU, vm.CPU} {
+			for _, model := range []fi.Model{fi.Permanent, fi.Transient} {
+				o.logf("campaign %s %s-%s (round-robin)", sc.Name, target, model)
+				c := campaign.RunWithGolden(sc, sim.RoundRobin, target, model, o.Sizes, base+uint64(target)*31+uint64(model)*57, goldenRR)
+				s.RR = append(s.RR, c)
+			}
+		}
+		// Baseline campaigns: GPU faults only (the paper's §VI
+		// comparison is on the GPU campaigns, where SDCs occur).
+		goldenFD := campaign.Golden(sc, sim.Duplicate, o.Sizes.Golden, base+2000)
+		goldenSG := campaign.Golden(sc, sim.Single, o.Sizes.Golden, base+3000)
+		for _, model := range []fi.Model{fi.Permanent, fi.Transient} {
+			o.logf("campaign %s GPU-%s (duplicate baseline)", sc.Name, model)
+			s.FD = append(s.FD, campaign.RunWithGolden(sc, sim.Duplicate, vm.GPU, model, o.Sizes, base+4000+uint64(model), goldenFD))
+			o.logf("campaign %s GPU-%s (single baseline)", sc.Name, model)
+			s.Single = append(s.Single, campaign.RunWithGolden(sc, sim.Single, vm.GPU, model, o.Sizes, base+5000+uint64(model), goldenSG))
+		}
+	}
+	return s
+}
+
+// GPUCampaigns returns the round-robin campaigns targeting the GPU.
+func (s *Study) GPUCampaigns() []*campaign.Campaign {
+	var out []*campaign.Campaign
+	for _, c := range s.RR {
+		if c.Target == vm.GPU {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Table1 renders the paper's Table I from the twelve round-robin
+// campaigns (td = 2 m, as in the paper).
+func (s *Study) Table1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I — FI campaign summary (DiverseAV dual-agent mode, td = 2 m)\n")
+	fmt.Fprintf(&b, "%-14s %-4s %-12s %7s %10s %6s %6s %6s\n",
+		"FI Target", "", "Scenario", "Active", "HangCrash", "Total", "Acc", "TrajV")
+	order := func(c *campaign.Campaign) int {
+		k := 0
+		if c.Target == vm.CPU {
+			k += 2
+		}
+		if c.Model == fi.Transient {
+			k += 4
+		}
+		return k
+	}
+	rows := append([]*campaign.Campaign(nil), s.RR...)
+	sort.SliceStable(rows, func(i, j int) bool { return order(rows[i]) < order(rows[j]) })
+	for _, c := range rows {
+		r := c.Table1Row(2)
+		fmt.Fprintf(&b, "%-4s %-10s %-14s %5d %9d %7d %6d %6d\n",
+			r.Target, r.Model, r.Scenario, r.Active, r.HangCrash, r.Total, r.Accidents, r.TrajViolates)
+	}
+	return b.String()
+}
+
+// Fig7 renders the precision/recall heat maps over (td, rw) for the
+// DiverseAV detector on the GPU campaigns.
+func (s *Study) Fig7() string {
+	cells := campaign.Evaluate(s.Det, core.CompareAlternating, s.GPUCampaigns(), s.Opts.TDs, s.Opts.RWs)
+	var b strings.Builder
+	grid := func(title string, get func(campaign.EvalCell) float64) {
+		fmt.Fprintf(&b, "%s (rows: td, cols: rw)\n        ", title)
+		for _, rw := range s.Opts.RWs {
+			fmt.Fprintf(&b, "rw=%-4d ", rw)
+		}
+		b.WriteString("\n")
+		for _, td := range s.Opts.TDs {
+			fmt.Fprintf(&b, "td=%.0fm  ", td)
+			for _, rw := range s.Opts.RWs {
+				for _, c := range cells {
+					if c.TD == td && c.RW == rw {
+						fmt.Fprintf(&b, "%.2f    ", get(c))
+					}
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	grid("Fig 7a — precision", func(c campaign.EvalCell) float64 { return c.Precision() })
+	grid("Fig 7b — recall", func(c campaign.EvalCell) float64 { return c.Recall() })
+	best := campaign.EvalCell{}
+	for _, c := range cells {
+		if c.F1() > best.F1() {
+			best = c
+		}
+	}
+	fmt.Fprintf(&b, "best F1: td=%.0fm rw=%d  P=%.2f R=%.2f F1=%.2f (golden alarms: %d)\n",
+		best.TD, best.RW, best.Precision(), best.Recall(), best.F1(), best.GoldenAlarms)
+	return b.String()
+}
+
+// Fig8 renders the lead-detection-time distribution at the headline
+// configuration (td = 2 m, default rw).
+func (s *Study) Fig8() string {
+	times := campaign.LeadTimes(s.Det, core.CompareAlternating, s.GPUCampaigns())
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 8 — lead detection time (alarm → collision), %d accident runs detected\n", len(times))
+	if len(times) == 0 {
+		b.WriteString("no detected accident runs at this campaign scale\n")
+		return b.String()
+	}
+	sort.Float64s(times)
+	for i, t := range times {
+		fmt.Fprintf(&b, "x=%.2fs y=%d\n", t, i+1)
+	}
+	fmt.Fprintf(&b, "min=%.2fs median=%.2fs (human braking reaction ≈ 0.82 s)\n",
+		times[0], stats.Percentile(times, 50))
+	return b.String()
+}
+
+// MissedHazards renders the §VI-A missed-hazard probability.
+func (s *Study) MissedHazards() string {
+	missed, total := campaign.MissedHazards(s.Det, core.CompareAlternating, s.RR, 2)
+	return fmt.Sprintf("§VI-A — missed safety hazards: %d / %d injections = %.4f (paper: 4/3189 ≈ 0.001)\n",
+		missed, total, float64(missed)/float64(total))
+}
+
+// Comparisons renders the §VI-B/C baseline comparison at td = 2 m.
+func (s *Study) Comparisons() string {
+	var b strings.Builder
+	eval := func(name string, det *core.Detector, mode core.CompareMode, camps []*campaign.Campaign) {
+		cells := campaign.Evaluate(det, mode, camps, []float64{2}, []int{det.Cfg.RW})
+		c := cells[0]
+		fmt.Fprintf(&b, "%-22s P=%.2f R=%.2f F1=%.2f (TP=%d FP=%d FN=%d, golden alarms=%d)\n",
+			name, c.Precision(), c.Recall(), c.F1(), c.TP, c.FP, c.FN, c.GoldenAlarms)
+	}
+	b.WriteString("§VI — detector comparison on GPU fault campaigns (td = 2 m)\n")
+	eval("DiverseAV", s.Det, core.CompareAlternating, s.GPUCampaigns())
+	eval("FD-ADS (duplicate)", s.FDDet, core.CompareDuplicate, s.FD)
+	eval("Single-agent", s.SingleDet, core.CompareTemporal, s.Single)
+	return b.String()
+}

@@ -1,0 +1,186 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split("sensors")
+	c2 := parent.Split("npc")
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("differently-labeled splits produced the same first draw")
+	}
+	// Splitting must not advance the parent.
+	p1 := New(7)
+	_ = p1.Split("sensors")
+	p2 := New(7)
+	if p1.Uint64() != p2.Uint64() {
+		t.Error("Split advanced the parent stream")
+	}
+	// Same label twice gives the same stream.
+	d1 := New(7).Split("x")
+	d2 := New(7).Split("x")
+	for i := 0; i < 100; i++ {
+		if d1.Uint64() != d2.Uint64() {
+			t.Fatalf("same-label splits diverged at draw %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	r := New(4)
+	const n = 100000
+	sum := 0.0
+	var buckets [10]int
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		sum += f
+		buckets[int(f*10)]++
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ≈ 0.5", mean)
+	}
+	for i, c := range buckets {
+		frac := float64(c) / n
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Errorf("bucket %d frac = %v, want ≈ 0.1", i, frac)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnCoversAllValues(t *testing.T) {
+	r := New(6)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[r.Intn(5)] = true
+	}
+	for v := 0; v < 5; v++ {
+		if !seen[v] {
+			t.Errorf("Intn(5) never produced %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(8)
+	const n = 100000
+	sum, ss := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		ss += x * x
+	}
+	mean := sum / n
+	variance := ss/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ≈ 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ≈ 1", variance)
+	}
+}
+
+func TestNormScaled(t *testing.T) {
+	r := New(9)
+	const n = 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.NormScaled(10, 2)
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.1 {
+		t.Errorf("scaled mean = %v, want ≈ 10", mean)
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := New(10)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(-3, 7)
+		if v < -3 || v >= 7 {
+			t.Fatalf("Range out of bounds: %v", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(11)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(12)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v", frac)
+	}
+}

@@ -1,0 +1,185 @@
+package scenario
+
+import (
+	"diverseav/internal/physics"
+	"diverseav/internal/world"
+)
+
+// Cruise target speeds used by the scripted NPCs, m/s.
+const (
+	leadCruise  = 10.0
+	cutinCruise = 11.5
+)
+
+// LeadSlowdown is the paper's first safety-critical scenario: the ego
+// follows a lead NPC at ~25 m; the NPC performs an emergency stop and
+// the ego must brake in time (NHTSA lead-vehicle-decelerating topology).
+func LeadSlowdown() *Scenario {
+	return &Scenario{
+		Name:           "LeadSlowdown",
+		SafetyCritical: true,
+		Duration:       30,
+		NewTown:        world.TestTrack,
+		RouteName:      "main",
+		EgoStation:     50,
+		EgoSpeed:       10,
+		Setup: func(env *Env) {
+			brakeAt := 10.0 + env.Rand.Range(-0.05, 0.05)
+			addNPC(env, "lead", "ego", 75, leadCruise,
+				func(t float64, self *NPC, env *Env) {
+					if t >= brakeAt {
+						self.Follower.EmergencyBrake()
+						self.Braking = self.Follower.Vehicle.State.V > 0.05
+					}
+				})
+		},
+	}
+}
+
+// GhostCutIn is the paper's second safety-critical scenario: an NPC in
+// the left adjacent lane overtakes and cuts in front of the ego with a
+// small longitudinal margin, then slows; the ego must yield.
+func GhostCutIn() *Scenario {
+	return &Scenario{
+		Name:           "GhostCutIn",
+		SafetyCritical: true,
+		Duration:       30,
+		NewTown:        world.TestTrack,
+		RouteName:      "main",
+		EgoStation:     40,
+		EgoSpeed:       10,
+		Setup: func(env *Env) {
+			cutAt := 7.0 + env.Rand.Range(-0.1, 0.1)
+			merged := false
+			addNPC(env, "cutter", "left", 44, cutinCruise,
+				func(t float64, self *NPC, env *Env) {
+					switch {
+					case !merged && t >= cutAt:
+						lane, _ := env.Town.Lane("ego")
+						self.Follower.SwitchPath(mergePath(env, self.Follower, lane, 18))
+						merged = true
+					case merged && t >= cutAt+2.5:
+						// Slow after the cut-in, forcing the ego to react.
+						self.Follower.TargetSpeed = 6.5
+						self.Braking = self.Follower.Vehicle.State.V > self.Follower.TargetSpeed+0.2
+					}
+				})
+		},
+	}
+}
+
+// FrontAccident is the paper's third safety-critical scenario: a
+// merging NPC collides with the ego's lead vehicle; both wrecked NPCs
+// stop abruptly and the ego must stop behind the accident.
+func FrontAccident() *Scenario {
+	return &Scenario{
+		Name:           "FrontAccident",
+		SafetyCritical: true,
+		Duration:       30,
+		NewTown:        world.TestTrack,
+		RouteName:      "main",
+		EgoStation:     40,
+		EgoSpeed:       10,
+		Setup: func(env *Env) {
+			trigger := 2.0 + env.Rand.Range(-0.15, 0.15)
+			merged := false
+			crashed := false
+			lead := addNPC(env, "lead", "ego", 72, leadCruise,
+				func(t float64, self *NPC, env *Env) {
+					if crashed {
+						self.Follower.EmergencyBrake()
+						self.Braking = self.Follower.Vehicle.State.V > 0.05
+					}
+				})
+			addNPC(env, "merger", "left", 58, 13,
+				func(t float64, self *NPC, env *Env) {
+					// Merge when drawing level with the lead: an
+					// aggressive, short merge aimed at the lead's flank.
+					if !merged && self.Follower.Station() >= lead.Follower.Station()-trigger {
+						lane, _ := env.Town.Lane("ego")
+						self.Follower.SwitchPath(mergePath(env, self.Follower, lane, 12))
+						merged = true
+					}
+					if merged && !crashed &&
+						physics.Collides(self.Follower.Vehicle, lead.Follower.Vehicle) {
+						crashed = true
+					}
+					if crashed {
+						self.Follower.EmergencyBrake()
+						self.Braking = self.Follower.Vehicle.State.V > 0.05
+					}
+				})
+		},
+	}
+}
+
+// longRoute builds a training scenario on one of the three long routes,
+// with pseudo-random same-direction background traffic in both lanes and
+// NPCs that respect the route's traffic lights.
+func longRoute(name string, newTown func() *world.Town, routeName, laneID, leftLaneID string, duration float64) *Scenario {
+	return &Scenario{
+		Name:       name,
+		Duration:   duration,
+		NewTown:    newTown,
+		RouteName:  routeName,
+		EgoStation: 5,
+		EgoSpeed:   0,
+		Setup: func(env *Env) {
+			// Traffic ahead of the ego in its own lane.
+			station := 60.0
+			for i := 0; i < 4; i++ {
+				station += env.Rand.Range(55, 90)
+				speed := env.Rand.Range(6, 9)
+				addNPC(env, "traffic", laneID, station, speed, trafficScript(laneID, speed))
+			}
+			// Traffic in the left lane.
+			station = 30.0
+			for i := 0; i < 3; i++ {
+				station += env.Rand.Range(70, 110)
+				speed := env.Rand.Range(7, 10)
+				addNPC(env, "traffic-left", leftLaneID, station, speed, trafficScript(laneID, speed))
+			}
+		},
+	}
+}
+
+// trafficScript keeps a background NPC cruising, stopping for red lights
+// on the primary lane (signals span the full road).
+func trafficScript(signalLane string, cruise float64) func(t float64, self *NPC, env *Env) {
+	return func(t float64, self *NPC, env *Env) {
+		st := self.Follower.Station()
+		light, ok := env.Town.NextLight(signalLane, st)
+		if ok && light.Station-st < 18 && light.StateAt(t) != world.Green {
+			self.Follower.TargetSpeed = 0
+			self.Braking = self.Follower.Vehicle.State.V > 0.1
+			return
+		}
+		self.Follower.TargetSpeed = cruise
+		self.Braking = false
+	}
+}
+
+// TrainingRoutes returns the three long training scenarios (the paper's
+// Town01-Route02, Town03-Route15, Town06-Route42 analogues).
+func TrainingRoutes() []*Scenario {
+	return []*Scenario{
+		longRoute("Town01-Route02", world.Town01, "Route02", "r02", "r02-left", 150),
+		longRoute("Town03-Route15", world.Town03, "Route15", "r15", "r15-left", 150),
+		longRoute("Town06-Route42", world.Town06, "Route42", "r42", "r42-left", 150),
+	}
+}
+
+// SafetyCritical returns the three safety-critical test scenarios.
+func SafetyCritical() []*Scenario {
+	return []*Scenario{LeadSlowdown(), GhostCutIn(), FrontAccident()}
+}
+
+// ByName returns a scenario constructor by name, or nil.
+func ByName(name string) *Scenario {
+	for _, s := range append(SafetyCritical(), TrainingRoutes()...) {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}

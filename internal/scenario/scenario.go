@@ -1,0 +1,128 @@
+// Package scenario defines the driving scenarios of the paper's §IV-C:
+// the three NHTSA-style safety-critical test scenarios (lead slowdown,
+// ghost cut-in, front accident) and the three long training routes with
+// background traffic used to train the error detector.
+//
+// A scenario is declarative setup plus per-NPC scripts; the sim package
+// owns the loop. Scripts receive the scenario clock and seeded jitter, so
+// runs of the same scenario differ slightly (the paper's golden-run
+// non-determinism) while remaining reproducible from the seed.
+package scenario
+
+import (
+	"math"
+
+	"diverseav/internal/geom"
+	"diverseav/internal/physics"
+	"diverseav/internal/rng"
+	"diverseav/internal/world"
+)
+
+// NPC is one scripted non-player vehicle.
+type NPC struct {
+	Follower *physics.LaneFollower
+	// Braking is set by scripts while the NPC is slowing hard; the
+	// rasterizer lights its brake strip.
+	Braking bool
+	// Script advances the NPC's intent at simulation time t. It runs
+	// before the NPC's physics step each frame.
+	Script func(t float64, self *NPC, env *Env)
+}
+
+// Env is the live scenario state handed to NPC scripts and the sim loop.
+type Env struct {
+	Town  *world.Town
+	Route *world.Route
+	Ego   *physics.Vehicle
+	NPCs  []*NPC
+	Rand  *rng.Rand
+}
+
+// Vehicles returns all vehicles (ego first) for collision checks and
+// rendering.
+func (e *Env) Vehicles() []*physics.Vehicle {
+	vs := make([]*physics.Vehicle, 0, len(e.NPCs)+1)
+	vs = append(vs, e.Ego)
+	for _, n := range e.NPCs {
+		vs = append(vs, n.Follower.Vehicle)
+	}
+	return vs
+}
+
+// Scenario is a declarative scenario definition.
+type Scenario struct {
+	Name string
+	// SafetyCritical distinguishes test scenarios from training routes.
+	SafetyCritical bool
+	// Duration is the simulated length in seconds.
+	Duration float64
+	// NewTown constructs the map (fresh per run: towns are cheap and
+	// runs must not share state).
+	NewTown func() *world.Town
+	// RouteName selects the ego route within the town.
+	RouteName string
+	// EgoStation and EgoSpeed place the ego vehicle (jittered per run).
+	EgoStation float64
+	EgoSpeed   float64
+	// Setup creates the NPCs. It runs once after the ego is placed.
+	Setup func(env *Env)
+}
+
+// Instantiate builds the live environment for one run, applying seeded
+// jitter to the ego start so golden runs differ naturally.
+func (s *Scenario) Instantiate(seed uint64) *Env {
+	r := rng.New(seed)
+	town := s.NewTown()
+	route, err := town.Route(s.RouteName)
+	if err != nil {
+		panic(err) // static scenario definitions must reference real routes
+	}
+	env := &Env{Town: town, Route: route, Rand: r.Split("scenario")}
+	st := s.EgoStation + env.Rand.Range(-0.15, 0.15)
+	pos, yaw := route.Path.PoseAt(st)
+	env.Ego = physics.NewVehicle("ego", geom.Pose{Pos: pos, Yaw: yaw})
+	env.Ego.State.V = math.Max(0, s.EgoSpeed+env.Rand.Range(-0.05, 0.05))
+	if s.Setup != nil {
+		s.Setup(env)
+	}
+	return env
+}
+
+// addNPC creates an NPC on the given lane.
+func addNPC(env *Env, name, laneID string, station, speed float64, script func(t float64, self *NPC, env *Env)) *NPC {
+	lane, ok := env.Town.Lane(laneID)
+	if !ok {
+		panic("scenario: unknown lane " + laneID)
+	}
+	v := physics.NewVehicle(name, geom.Pose{})
+	n := &NPC{
+		Follower: physics.NewLaneFollower(v, lane.Center, station, speed),
+		Script:   script,
+	}
+	env.NPCs = append(env.NPCs, n)
+	return n
+}
+
+// mergePath builds a lane-change trajectory from the NPC's current
+// position into the target lane, merging over the given longitudinal
+// distance and continuing along the target lane.
+func mergePath(env *Env, from *physics.LaneFollower, targetLane *world.Lane, mergeLen float64) *geom.Polyline {
+	start := from.Vehicle.State.Pose.Pos
+	st, _ := targetLane.Center.Project(start)
+	pts := []geom.Vec2{start}
+	const steps = 12
+	for i := 1; i <= steps; i++ {
+		f := float64(i) / steps
+		// Smoothstep blend of lateral position into the target lane.
+		blend := f * f * (3 - 2*f)
+		target := targetLane.Center.At(st + mergeLen*f)
+		src := start.Add(target.Sub(targetLane.Center.At(st)))
+		pts = append(pts, src.Lerp(target, blend))
+	}
+	// Continue along the target lane beyond the merge.
+	end := st + mergeLen
+	for d := 10.0; d <= 200; d += 10 {
+		pts = append(pts, targetLane.Center.At(end+d))
+	}
+	return geom.MustPolyline(pts)
+}

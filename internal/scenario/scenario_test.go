@@ -1,0 +1,145 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"diverseav/internal/physics"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{
+		"LeadSlowdown", "GhostCutIn", "FrontAccident",
+		"Town01-Route02", "Town03-Route15", "Town06-Route42",
+	} {
+		if ByName(name) == nil {
+			t.Errorf("scenario %q not found", name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("unknown scenario resolved")
+	}
+}
+
+func TestSafetyCriticalFlags(t *testing.T) {
+	for _, sc := range SafetyCritical() {
+		if !sc.SafetyCritical {
+			t.Errorf("%s not flagged safety-critical", sc.Name)
+		}
+		if sc.Duration < 20 || sc.Duration > 120 {
+			t.Errorf("%s duration %v outside the paper's 30–60 s band", sc.Name, sc.Duration)
+		}
+	}
+	for _, sc := range TrainingRoutes() {
+		if sc.SafetyCritical {
+			t.Errorf("%s flagged safety-critical", sc.Name)
+		}
+		if sc.Duration < 100 {
+			t.Errorf("training route %s too short (%vs)", sc.Name, sc.Duration)
+		}
+	}
+}
+
+func TestInstantiateDeterministic(t *testing.T) {
+	sc := LeadSlowdown()
+	a := sc.Instantiate(5)
+	b := sc.Instantiate(5)
+	if a.Ego.State.Pose.Pos != b.Ego.State.Pose.Pos || a.Ego.State.V != b.Ego.State.V {
+		t.Error("same seed produced different ego placement")
+	}
+	c := sc.Instantiate(6)
+	if a.Ego.State.Pose.Pos == c.Ego.State.Pose.Pos && a.Ego.State.V == c.Ego.State.V {
+		t.Error("different seeds produced identical placement (jitter missing)")
+	}
+}
+
+func TestInstantiateJitterIsSmall(t *testing.T) {
+	sc := LeadSlowdown()
+	base := sc.Instantiate(1).Ego.State.Pose.Pos
+	for seed := uint64(2); seed < 30; seed++ {
+		p := sc.Instantiate(seed).Ego.State.Pose.Pos
+		if base.Dist(p) > 0.5 {
+			t.Errorf("seed %d: start jitter %.2fm too large for <0.5m golden variation", seed, base.Dist(p))
+		}
+	}
+}
+
+func TestLeadSlowdownScript(t *testing.T) {
+	sc := LeadSlowdown()
+	env := sc.Instantiate(1)
+	if len(env.NPCs) != 1 {
+		t.Fatalf("NPCs = %d", len(env.NPCs))
+	}
+	lead := env.NPCs[0]
+	// Before the brake trigger the lead cruises; after, it stops.
+	dt := 1.0 / 40
+	for step := 0; step < 30*40; step++ {
+		tNow := float64(step) * dt
+		lead.Script(tNow, lead, env)
+		lead.Follower.Step(dt)
+	}
+	if v := lead.Follower.Vehicle.State.V; v > 0.05 {
+		t.Errorf("lead speed at end = %v, want stopped", v)
+	}
+}
+
+func TestGhostCutInCrossesLane(t *testing.T) {
+	sc := GhostCutIn()
+	env := sc.Instantiate(1)
+	cutter := env.NPCs[0]
+	dt := 1.0 / 40
+	startY := cutter.Follower.Vehicle.State.Pose.Pos.Y
+	for step := 0; step < 20*40; step++ {
+		cutter.Script(float64(step)*dt, cutter, env)
+		cutter.Follower.Step(dt)
+	}
+	endY := cutter.Follower.Vehicle.State.Pose.Pos.Y
+	if math.Abs(endY-startY) < 2.5 {
+		t.Errorf("cutter did not change lanes: y %v → %v", startY, endY)
+	}
+}
+
+func TestFrontAccidentNPCsCollide(t *testing.T) {
+	sc := FrontAccident()
+	env := sc.Instantiate(1)
+	if len(env.NPCs) != 2 {
+		t.Fatalf("NPCs = %d", len(env.NPCs))
+	}
+	dt := 1.0 / 40
+	collided := false
+	for step := 0; step < 25*40; step++ {
+		for _, n := range env.NPCs {
+			n.Script(float64(step)*dt, n, env)
+			n.Follower.Step(dt)
+		}
+		if physics.Collides(env.NPCs[0].Follower.Vehicle, env.NPCs[1].Follower.Vehicle) {
+			collided = true
+		}
+	}
+	if !collided {
+		t.Fatal("the scripted accident never happened")
+	}
+	// Both wrecks must stop.
+	for i, n := range env.NPCs {
+		if v := n.Follower.Vehicle.State.V; v > 0.2 {
+			t.Errorf("wreck %d still moving at %v m/s", i, v)
+		}
+	}
+}
+
+func TestTrainingRoutesHaveTraffic(t *testing.T) {
+	for _, sc := range TrainingRoutes() {
+		env := sc.Instantiate(1)
+		if len(env.NPCs) < 5 {
+			t.Errorf("%s: only %d background NPCs", sc.Name, len(env.NPCs))
+		}
+	}
+}
+
+func TestVehiclesIncludesEgoFirst(t *testing.T) {
+	env := LeadSlowdown().Instantiate(1)
+	vs := env.Vehicles()
+	if len(vs) != 2 || vs[0] != env.Ego {
+		t.Errorf("Vehicles() = %d entries, ego first = %v", len(vs), vs[0] == env.Ego)
+	}
+}

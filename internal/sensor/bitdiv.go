@@ -1,0 +1,49 @@
+package sensor
+
+import (
+	"math"
+	"math/bits"
+)
+
+// BitDiffPerPixel returns, for each pixel location, the number of
+// differing bits (of 24) between two RGB frames of identical geometry.
+// This is the paper's §V-A camera bit-diversity measurement. It panics
+// if the frames differ in size.
+func BitDiffPerPixel(a, b Frame) []int {
+	if len(a) != len(b) {
+		panic("sensor: frame size mismatch")
+	}
+	out := make([]int, len(a)/3)
+	for p := range out {
+		i := p * 3
+		out[p] = bits.OnesCount8(a[i]^b[i]) +
+			bits.OnesCount8(a[i+1]^b[i+1]) +
+			bits.OnesCount8(a[i+2]^b[i+2])
+	}
+	return out
+}
+
+// FloatBitDiff returns the per-word count of differing bits (of 32)
+// between two float32 sensor vectors, truncating to the shorter length
+// (point clouds vary in size frame to frame).
+func FloatBitDiff(a, b []float32) []int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = bits.OnesCount32(math.Float32bits(a[i]) ^ math.Float32bits(b[i]))
+	}
+	return out
+}
+
+// IntsToFloats widens a measurement vector for use with the stats
+// package.
+func IntsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

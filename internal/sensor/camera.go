@@ -1,0 +1,322 @@
+package sensor
+
+import (
+	"math"
+	"sort"
+
+	"diverseav/internal/geom"
+)
+
+// Default camera geometry, shared by the rasterizer and the agent's
+// perception LUTs.
+const (
+	FrameW = 64 // pixels
+	FrameH = 40 // pixels
+	// CamHeight is the camera mount height above the road, meters.
+	CamHeight = 1.4
+	// HorizonRow is the image row of the horizon.
+	HorizonRow = 18
+	// HFOVDeg and VFOVDeg are the per-camera fields of view.
+	HFOVDeg = 60.0
+	VFOVDeg = 50.0
+	// MaxGroundDist clips the ground projection, meters.
+	MaxGroundDist = 80.0
+)
+
+// Focal lengths in pixels, derived from the FOVs.
+var (
+	focalX = float64(FrameW) / 2 / math.Tan(HFOVDeg/2*math.Pi/180)
+	focalY = float64(FrameH) / 2 / math.Tan(VFOVDeg/2*math.Pi/180)
+)
+
+// RowDistance returns the ground distance (meters along the view axis)
+// imaged by pixel row v, or +Inf for rows at/above the horizon. Exported
+// because the agent's perception uses the same projection as a static
+// lookup table.
+func RowDistance(v int) float64 {
+	if v <= HorizonRow {
+		return math.Inf(1)
+	}
+	d := CamHeight * focalY / float64(v-HorizonRow)
+	if d > MaxGroundDist {
+		return MaxGroundDist
+	}
+	return d
+}
+
+// ColLateral returns the lateral offset (meters, positive left) imaged by
+// pixel column u at ground distance d.
+func ColLateral(u int, d float64) float64 {
+	return (float64(FrameW)/2 - 0.5 - float64(u)) / focalX * d
+}
+
+// Frame is one RGB24 camera image (FrameW × FrameH × 3 bytes, row-major).
+type Frame []byte
+
+// NewFrame allocates a frame.
+func NewFrame() Frame { return make(Frame, FrameW*FrameH*3) }
+
+// At returns the RGB bytes at (u, v).
+func (f Frame) At(u, v int) (r, g, b uint8) {
+	i := (v*FrameW + u) * 3
+	return f[i], f[i+1], f[i+2]
+}
+
+func (f Frame) set(u, v int, r, g, b float64) {
+	i := (v*FrameW + u) * 3
+	f[i], f[i+1], f[i+2] = quantize(r), quantize(g), quantize(b)
+}
+
+// CameraID distinguishes the three front-facing cameras.
+type CameraID int
+
+// The agent's camera rig: left, center and right front-facing cameras,
+// yawed like the Sensorimotor agent's rig.
+const (
+	CamLeft CameraID = iota
+	CamCenter
+	CamRight
+	NumCameras
+)
+
+// YawOffset returns the camera's mounting yaw relative to the vehicle
+// heading (radians, positive left).
+func (c CameraID) YawOffset() float64 {
+	switch c {
+	case CamLeft:
+		return 45 * math.Pi / 180
+	case CamRight:
+		return -45 * math.Pi / 180
+	default:
+		return 0
+	}
+}
+
+// String names the camera.
+func (c CameraID) String() string {
+	switch c {
+	case CamLeft:
+		return "left"
+	case CamRight:
+		return "right"
+	default:
+		return "center"
+	}
+}
+
+// RenderObstacle is a vehicle (or other box obstacle) visible to the
+// cameras.
+type RenderObstacle struct {
+	Pose    geom.Pose
+	HalfL   float64
+	HalfW   float64
+	Braking bool // rear brake lights lit
+}
+
+// StopBar is a red stop indication painted across the ego lane at a
+// forward distance (the rasterizer's rendering of a red traffic signal's
+// stop line).
+type StopBar struct {
+	Dist float64 // meters ahead of ego along the route
+}
+
+// Scene is everything the rasterizer needs for one frame.
+type Scene struct {
+	// EgoPose is the camera rig's vehicle pose.
+	EgoPose geom.Pose
+	// RoadCenterAhead maps forward distance (meters, ego frame) to the
+	// road center's lateral offset in the ego frame (meters, positive
+	// left). It is sampled per row to paint curved roads correctly.
+	RoadCenterAhead func(dist float64) float64
+	// RoadHalfWidth is the half-width of the drivable surface around the
+	// road center (two lanes in all our maps).
+	RoadHalfWidth float64
+	// LaneMarkOffsets are lateral offsets (from road center) of painted
+	// lane markings.
+	LaneMarkOffsets []float64
+	Obstacles       []RenderObstacle
+	StopBars        []StopBar
+	// Step is the frame index; NoiseSeed identifies the run. Together
+	// they seed the per-frame sensor noise.
+	Step      int
+	NoiseSeed uint64
+	// NoiseStd is the sensor noise amplitude on the 0..255 intensity
+	// scale (uniform, ±2·NoiseStd peak). Calibrated so per-pixel bit
+	// diversity matches the paper's Fig 5b.
+	NoiseStd float64
+}
+
+// Surface base colors (0..255 RGB).
+var (
+	colGrass  = [3]float64{44, 92, 46}
+	colRoad   = [3]float64{98, 98, 100}
+	colMark   = [3]float64{205, 205, 200}
+	colCar    = [3]float64{32, 44, 150} // NPC body: saturated blue
+	colBrake  = [3]float64{225, 32, 28}
+	colBar    = [3]float64{205, 24, 22}
+	colSkyTop = [3]float64{110, 150, 210}
+	colSkyBot = [3]float64{170, 195, 230}
+)
+
+// Projection is an obstacle's image-space footprint in one camera:
+// center column, bottom row, width and height in pixels. It is used by
+// the rasterizer and, as ground-truth 2-D labels, by the KITTI-like
+// dataset generator.
+type Projection struct {
+	UC      float64 // box center column
+	VBottom float64 // ground-contact row
+	Width   float64
+	Height  float64
+}
+
+// Center returns the bounding-box center in pixel coordinates.
+func (p Projection) Center() (u, v float64) {
+	return p.UC, p.VBottom - p.Height/2
+}
+
+// Project computes an obstacle's image footprint in the given camera, and
+// whether it is in front of the camera within range.
+func Project(cam CameraID, ego geom.Pose, o *RenderObstacle) (Projection, bool) {
+	camPose := geom.Pose{Pos: ego.Pos, Yaw: ego.Yaw + cam.YawOffset()}
+	local := camPose.ToLocal(o.Pose.Pos)
+	if local.X <= 0.8 || local.X >= MaxGroundDist {
+		return Projection{}, false
+	}
+	relYaw := geom.AngleDiff(o.Pose.Yaw, camPose.Yaw)
+	halfW := math.Abs(math.Cos(relYaw))*o.HalfW + math.Abs(math.Sin(relYaw))*o.HalfL
+	xNear := local.X - o.HalfL
+	if xNear < 0.5 {
+		xNear = 0.5
+	}
+	return Projection{
+		UC:      float64(FrameW)/2 - 0.5 - focalX*local.Y/local.X,
+		VBottom: float64(HorizonRow) + focalY*CamHeight/xNear,
+		Width:   focalX * 2 * halfW / local.X,
+		Height:  focalY * 1.5 / xNear,
+	}, true
+}
+
+// Render rasterizes the scene from the given camera into dst (allocated
+// if nil) and returns it.
+func Render(cam CameraID, sc *Scene, dst Frame) Frame {
+	if dst == nil {
+		dst = NewFrame()
+	}
+	camYaw := cam.YawOffset()
+	sinY, cosY := math.Sincos(camYaw)
+	frameKey := hash2(sc.NoiseSeed, uint64(sc.Step)<<3|uint64(cam))
+
+	// Sky rows.
+	for v := 0; v <= HorizonRow; v++ {
+		t := float64(v) / float64(HorizonRow)
+		r := colSkyTop[0] + (colSkyBot[0]-colSkyTop[0])*t
+		g := colSkyTop[1] + (colSkyBot[1]-colSkyTop[1])*t
+		b := colSkyTop[2] + (colSkyBot[2]-colSkyTop[2])*t
+		for u := 0; u < FrameW; u++ {
+			n := sc.NoiseStd * 2 * noiseUnit(hash2(frameKey, uint64(v*FrameW+u)))
+			// Slow cloud texture anchored to view direction.
+			cl := 6 * noiseUnit(hash2(uint64(u/8), uint64(v/4)+977))
+			dst.set(u, v, r+n+cl, g+n+cl, b+n+cl)
+		}
+	}
+
+	// Ground rows.
+	for v := HorizonRow + 1; v < FrameH; v++ {
+		d := RowDistance(v)
+		// Road center lateral at the row's forward distance (ego frame).
+		for u := 0; u < FrameW; u++ {
+			lat := ColLateral(u, d)
+			// Ground point in ego frame: rotate the camera-frame ray
+			// (d forward, lat left) by the camera yaw.
+			ex := d*cosY - lat*sinY
+			ey := d*sinY + lat*cosY
+			wp := sc.EgoPose.ToWorld(geom.V2(ex, ey))
+			var r, g, b float64
+			if ex <= 0.3 {
+				r, g, b = colGrass[0], colGrass[1], colGrass[2]
+			} else {
+				center := sc.RoadCenterAhead(ex)
+				laneLat := ey - center
+				switch {
+				case math.Abs(laneLat) > sc.RoadHalfWidth:
+					r, g, b = colGrass[0], colGrass[1], colGrass[2]
+				default:
+					r, g, b = colRoad[0], colRoad[1], colRoad[2]
+					for _, mo := range sc.LaneMarkOffsets {
+						if math.Abs(laneLat-mo) < 0.12 {
+							// Center markings are dashed (2 m dash, 2 m
+							// gap) anchored in world space so they sweep
+							// through the image as the vehicle moves;
+							// edge markings are solid.
+							if mo == 0 && int(math.Floor((wp.X+wp.Y)/2))%2 != 0 {
+								continue
+							}
+							r, g, b = colMark[0], colMark[1], colMark[2]
+						}
+					}
+					for _, sb := range sc.StopBars {
+						if math.Abs(ex-sb.Dist) < 0.9 && math.Abs(laneLat) < sc.RoadHalfWidth {
+							r, g, b = colBar[0], colBar[1], colBar[2]
+						}
+					}
+				}
+			}
+			// World-anchored texture makes consecutive frames bit-diverse
+			// as the vehicle moves.
+			tex := 7 * worldTexture(wp.X, wp.Y)
+			n := sc.NoiseStd * 2 * noiseUnit(hash2(frameKey, uint64(v*FrameW+u)))
+			dst.set(u, v, r+tex+n, g+tex+n, b+tex+n)
+		}
+	}
+
+	// Obstacles, far to near (painter's algorithm).
+	type proj struct {
+		x float64 // camera-frame forward distance
+		o *RenderObstacle
+	}
+	projs := make([]proj, 0, len(sc.Obstacles))
+	camPose := geom.Pose{Pos: sc.EgoPose.Pos, Yaw: sc.EgoPose.Yaw + camYaw}
+	for i := range sc.Obstacles {
+		o := &sc.Obstacles[i]
+		local := camPose.ToLocal(o.Pose.Pos)
+		if local.X > 0.8 && local.X < MaxGroundDist {
+			projs = append(projs, proj{local.X, o})
+		}
+	}
+	sort.Slice(projs, func(i, j int) bool { return projs[i].x > projs[j].x })
+	for _, pr := range projs {
+		o := pr.o
+		proj, ok := Project(cam, sc.EgoPose, o)
+		if !ok {
+			continue
+		}
+		u0 := int(math.Floor(proj.UC - proj.Width/2))
+		u1 := int(math.Ceil(proj.UC + proj.Width/2))
+		v1 := int(math.Floor(proj.VBottom))
+		v0 := int(math.Ceil(proj.VBottom - proj.Height))
+		if v1 >= FrameH {
+			v1 = FrameH - 1
+		}
+		if v0 < 0 {
+			v0 = 0
+		}
+		brakeTop := proj.VBottom - 0.35*proj.Height
+		for v := v0; v <= v1; v++ {
+			for u := u0; u <= u1; u++ {
+				if u < 0 || u >= FrameW {
+					continue
+				}
+				r, g, b := colCar[0], colCar[1], colCar[2]
+				if o.Braking && float64(v) >= brakeTop {
+					r, g, b = colBrake[0], colBrake[1], colBrake[2]
+				}
+				// Body shading varies with surface position (anchored to
+				// the obstacle, so it moves with it) plus sensor noise.
+				sh := 8 * noiseUnit(hash2(uint64(u-u0), uint64(v-v0)+31))
+				n := sc.NoiseStd * 2 * noiseUnit(hash2(frameKey, uint64(v*FrameW+u)+0x5bd1))
+				dst.set(u, v, r+sh+n, g+sh+n, b+sh+n)
+			}
+		}
+	}
+	return dst
+}

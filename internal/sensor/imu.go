@@ -1,0 +1,61 @@
+package sensor
+
+import (
+	"diverseav/internal/physics"
+	"diverseav/internal/rng"
+)
+
+// IMUGPS is one GPS + inertial-measurement reading, the agent's
+// proprioceptive input. Fields are float32 to mirror the 32-bit sensor
+// words whose bit diversity the paper characterizes (§V-A: IMU+GPS flips
+// 11/15 bits at the 50th/90th percentile).
+type IMUGPS struct {
+	X, Y     float32 // GPS position, meters
+	Speed    float32 // m/s
+	Accel    float32 // m/s²
+	YawRate  float32 // rad/s
+	YawAccel float32 // rad/s²
+	Heading  float32 // rad
+}
+
+// Words returns the reading as a flat []float32 for bit-diversity
+// analysis.
+func (m IMUGPS) Words() []float32 {
+	return []float32{m.X, m.Y, m.Speed, m.Accel, m.YawRate, m.YawAccel, m.Heading}
+}
+
+// IMU simulates the GPS+IMU unit with additive Gaussian measurement
+// noise. The noise is part of the run's seeded non-determinism: golden
+// runs differ slightly run to run, as the paper's do.
+type IMU struct {
+	r *rng.Rand
+	// Noise standard deviations.
+	PosStd   float64
+	SpeedStd float64
+	AccStd   float64
+	GyroStd  float64
+}
+
+// NewIMU creates an IMU with typical consumer-grade noise figures.
+func NewIMU(r *rng.Rand) *IMU {
+	return &IMU{
+		r:        r,
+		PosStd:   0.05,
+		SpeedStd: 0.03,
+		AccStd:   0.05,
+		GyroStd:  0.002,
+	}
+}
+
+// Read samples the vehicle state.
+func (m *IMU) Read(s physics.State) IMUGPS {
+	return IMUGPS{
+		X:        float32(s.Pose.Pos.X + m.r.NormScaled(0, m.PosStd)),
+		Y:        float32(s.Pose.Pos.Y + m.r.NormScaled(0, m.PosStd)),
+		Speed:    float32(s.V + m.r.NormScaled(0, m.SpeedStd)),
+		Accel:    float32(s.A + m.r.NormScaled(0, m.AccStd)),
+		YawRate:  float32(s.Omega + m.r.NormScaled(0, m.GyroStd)),
+		YawAccel: float32(s.AlphaDot + m.r.NormScaled(0, m.GyroStd*5)),
+		Heading:  float32(s.Pose.Yaw + m.r.NormScaled(0, m.GyroStd)),
+	}
+}

@@ -1,0 +1,64 @@
+package sensor
+
+import (
+	"math"
+
+	"diverseav/internal/geom"
+	"diverseav/internal/rng"
+)
+
+// LiDAR is a planar ray-casting range scanner: N equally spaced beams
+// swept through 360°, returning (x, y, z) points in the sensor frame.
+// The agent does not consume LiDAR (the Sensorimotor agent is
+// camera-only); the scanner exists for the sensor-diversity
+// characterization (§V-A) and the KITTI-like dataset generator.
+type LiDAR struct {
+	Beams    int
+	MaxRange float64
+	RangeStd float64 // per-return range noise, meters
+	r        *rng.Rand
+}
+
+// NewLiDAR creates a scanner with the given beam count.
+func NewLiDAR(beams int, r *rng.Rand) *LiDAR {
+	return &LiDAR{Beams: beams, MaxRange: 120, RangeStd: 0.02, r: r}
+}
+
+// Point is one LiDAR return in the sensor frame; float32 like the KITTI
+// point clouds whose bit diversity the paper reports.
+type Point struct {
+	X, Y, Z float32
+}
+
+// Scan casts all beams against the obstacle boxes and returns the hit
+// points (misses are omitted, like a real point cloud).
+func (l *LiDAR) Scan(sensorPose geom.Pose, obstacles []geom.OBB) []Point {
+	pts := make([]Point, 0, l.Beams)
+	for i := 0; i < l.Beams; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(l.Beams)
+		dir := geom.V2(math.Cos(sensorPose.Yaw+ang), math.Sin(sensorPose.Yaw+ang))
+		best := l.MaxRange
+		hit := false
+		for _, ob := range obstacles {
+			d := geom.RayBoxDistance(sensorPose.Pos, dir, ob)
+			if d < best {
+				best = d
+				hit = true
+			}
+		}
+		if !hit {
+			continue
+		}
+		rngNoise := l.r.NormScaled(0, l.RangeStd)
+		d := best + rngNoise
+		local := geom.V2(math.Cos(ang), math.Sin(ang)).Scale(d)
+		// Height of the return on the obstacle face: mid-body with small
+		// vertical scatter.
+		pts = append(pts, Point{
+			X: float32(local.X),
+			Y: float32(local.Y),
+			Z: float32(0.8 + l.r.NormScaled(0, 0.15)),
+		})
+	}
+	return pts
+}

@@ -1,0 +1,267 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"diverseav/internal/geom"
+	"diverseav/internal/physics"
+	"diverseav/internal/rng"
+)
+
+func testScene(step int) *Scene {
+	return &Scene{
+		EgoPose:         geom.Pose{Pos: geom.V2(float64(step)*0.25, 0)},
+		RoadCenterAhead: func(float64) float64 { return 1.75 },
+		RoadHalfWidth:   3.5,
+		LaneMarkOffsets: []float64{-3.5, 0, 3.5},
+		Step:            step,
+		NoiseSeed:       11,
+		NoiseStd:        1.2,
+	}
+}
+
+func TestRowDistanceMonotone(t *testing.T) {
+	if !math.IsInf(RowDistance(HorizonRow), 1) {
+		t.Error("horizon row should be at infinity")
+	}
+	prev := math.Inf(1)
+	for v := HorizonRow + 1; v < FrameH; v++ {
+		d := RowDistance(v)
+		if d >= prev {
+			t.Errorf("row distance not decreasing at %d", v)
+		}
+		if d <= 0 {
+			t.Errorf("non-positive distance at %d", v)
+		}
+		prev = d
+	}
+}
+
+func TestColLateralSigns(t *testing.T) {
+	if ColLateral(0, 10) <= 0 {
+		t.Error("left edge should be positive lateral")
+	}
+	if ColLateral(FrameW-1, 10) >= 0 {
+		t.Error("right edge should be negative lateral")
+	}
+	// Scales with distance.
+	if math.Abs(ColLateral(0, 20)-2*ColLateral(0, 10)) > 1e-9 {
+		t.Error("lateral does not scale linearly with distance")
+	}
+}
+
+func TestRenderDeterminism(t *testing.T) {
+	a := Render(CamCenter, testScene(5), nil)
+	b := Render(CamCenter, testScene(5), nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("rendering is not deterministic")
+		}
+	}
+}
+
+func TestRenderSkyAboveHorizonRoadBelow(t *testing.T) {
+	f := Render(CamCenter, testScene(0), nil)
+	// Sky pixel: blue dominant.
+	r, g, b := f.At(FrameW/2, 2)
+	if !(b > r && b > 100) {
+		t.Errorf("sky pixel = (%d,%d,%d)", r, g, b)
+	}
+	// Road pixel at image center bottom: gray.
+	r, g, b = f.At(FrameW/2, FrameH-2)
+	if math.Abs(float64(r)-float64(g)) > 25 || math.Abs(float64(g)-float64(b)) > 25 {
+		t.Errorf("road pixel not gray: (%d,%d,%d)", r, g, b)
+	}
+	// Far left bottom: grass (green dominant) — at 3m the left edge is
+	// ±1.9m... use a wider row: v just below horizon sees ±far laterals.
+	r, g, b = f.At(0, HorizonRow+3)
+	if !(g > r && g > b) {
+		t.Errorf("grass pixel not green: (%d,%d,%d)", r, g, b)
+	}
+}
+
+func TestRenderVehicleIsBlueBlob(t *testing.T) {
+	sc := testScene(0)
+	sc.Obstacles = []RenderObstacle{{
+		Pose: geom.Pose{Pos: geom.V2(12, 0)}, HalfL: 2.25, HalfW: 1.0,
+	}}
+	f := Render(CamCenter, sc, nil)
+	proj, ok := Project(CamCenter, sc.EgoPose, &sc.Obstacles[0])
+	if !ok {
+		t.Fatal("obstacle not projectable")
+	}
+	u := int(proj.UC)
+	v := int(proj.VBottom - proj.Height/2)
+	r, g, b := f.At(u, v)
+	if !(b > r+40 && b > g+40) {
+		t.Errorf("vehicle pixel at (%d,%d) not blue: (%d,%d,%d)", u, v, r, g, b)
+	}
+}
+
+func TestRenderBrakeLights(t *testing.T) {
+	sc := testScene(0)
+	sc.Obstacles = []RenderObstacle{{
+		Pose: geom.Pose{Pos: geom.V2(12, 0)}, HalfL: 2.25, HalfW: 1.0, Braking: true,
+	}}
+	f := Render(CamCenter, sc, nil)
+	proj, _ := Project(CamCenter, sc.EgoPose, &sc.Obstacles[0])
+	// Bottom band of the body should be red when braking.
+	u := int(proj.UC)
+	v := int(proj.VBottom - 0.1*proj.Height)
+	r, g, b := f.At(u, v)
+	if !(r > g+60 && r > b+60) {
+		t.Errorf("brake strip at (%d,%d) not red: (%d,%d,%d)", u, v, r, g, b)
+	}
+}
+
+func TestRenderStopBar(t *testing.T) {
+	sc := testScene(0)
+	sc.StopBars = []StopBar{{Dist: 8}}
+	f := Render(CamCenter, sc, nil)
+	// Find the row imaging ~8 m and check the lane is red there.
+	for v := HorizonRow + 1; v < FrameH; v++ {
+		if math.Abs(RowDistance(v)-8) < 0.6 {
+			r, g, b := f.At(FrameW/2, v)
+			if !(r > g+50 && r > b+50) {
+				t.Errorf("stop bar row %d not red: (%d,%d,%d)", v, r, g, b)
+			}
+			return
+		}
+	}
+	t.Fatal("no row images 8 m")
+}
+
+func TestRenderSideCameraYaw(t *testing.T) {
+	// An obstacle ahead-left should be visible in the left camera but
+	// project out of the right camera.
+	ob := RenderObstacle{Pose: geom.Pose{Pos: geom.V2(8, 8)}, HalfL: 2.25, HalfW: 1.0}
+	if _, ok := Project(CamLeft, geom.Pose{}, &ob); !ok {
+		t.Error("ahead-left obstacle invisible to the left camera")
+	}
+	proj, ok := Project(CamRight, geom.Pose{}, &ob)
+	if ok && proj.UC > 0 && proj.UC < FrameW {
+		t.Error("ahead-left obstacle visible in the right camera")
+	}
+}
+
+func TestConsecutiveFramesBitDiverse(t *testing.T) {
+	a := Render(CamCenter, testScene(10), nil)
+	b := Render(CamCenter, testScene(11), nil)
+	diffs := BitDiffPerPixel(a, b)
+	total := 0
+	for _, d := range diffs {
+		total += d
+	}
+	mean := float64(total) / float64(len(diffs))
+	if mean < 2 {
+		t.Errorf("mean per-pixel bit difference = %.2f, want clearly diverse (>2)", mean)
+	}
+	if mean > 16 {
+		t.Errorf("mean per-pixel bit difference = %.2f, suspiciously high", mean)
+	}
+}
+
+func TestBitDiffPerPixel(t *testing.T) {
+	a := NewFrame()
+	b := NewFrame()
+	b[0] = 0xFF // 8 bits in pixel 0's R channel
+	b[5] = 0x0F // 4 bits in pixel 1's B channel
+	d := BitDiffPerPixel(a, b)
+	if d[0] != 8 || d[1] != 4 {
+		t.Errorf("diffs = %v %v, want 8 4", d[0], d[1])
+	}
+	for i := 2; i < len(d); i++ {
+		if d[i] != 0 {
+			t.Fatalf("unexpected diff at %d", i)
+		}
+	}
+}
+
+func TestBitDiffMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on size mismatch")
+		}
+	}()
+	BitDiffPerPixel(NewFrame(), NewFrame()[:30])
+}
+
+func TestFloatBitDiff(t *testing.T) {
+	a := []float32{1.0, 2.0, 3.0}
+	b := []float32{1.0, -2.0, 3.5}
+	d := FloatBitDiff(a, b)
+	if d[0] != 0 {
+		t.Errorf("identical floats differ: %d", d[0])
+	}
+	if d[1] != 1 {
+		t.Errorf("sign flip = %d bits, want 1", d[1])
+	}
+	if d[2] == 0 {
+		t.Error("different floats report zero bits")
+	}
+	// Truncates to shorter input.
+	if got := len(FloatBitDiff(a, b[:2])); got != 2 {
+		t.Errorf("truncated length = %d", got)
+	}
+}
+
+func TestIMUNoiseBounded(t *testing.T) {
+	imu := NewIMU(rng.New(1))
+	s := physics.State{V: 10, A: 1, Omega: 0.1}
+	s.Pose.Pos = geom.V2(100, 50)
+	for i := 0; i < 1000; i++ {
+		r := imu.Read(s)
+		if math.Abs(float64(r.Speed)-10) > 0.3 {
+			t.Fatalf("speed noise too large: %v", r.Speed)
+		}
+		if math.Abs(float64(r.X)-100) > 0.5 {
+			t.Fatalf("position noise too large: %v", r.X)
+		}
+	}
+}
+
+func TestIMUWords(t *testing.T) {
+	var m IMUGPS
+	if len(m.Words()) != 7 {
+		t.Errorf("words = %d", len(m.Words()))
+	}
+}
+
+func TestLiDARScan(t *testing.T) {
+	l := NewLiDAR(360, rng.New(2))
+	boxes := []geom.OBB{{Center: geom.V2(20, 0), HalfL: 2.25, HalfW: 1}}
+	pts := l.Scan(geom.Pose{}, boxes)
+	if len(pts) == 0 {
+		t.Fatal("no returns from an obstacle")
+	}
+	for _, p := range pts {
+		d := math.Hypot(float64(p.X), float64(p.Y))
+		if d < 17 || d > 23 {
+			t.Errorf("return at range %v, want ≈ 18–22", d)
+		}
+	}
+	// Nothing around: no returns.
+	if got := l.Scan(geom.Pose{}, nil); len(got) != 0 {
+		t.Errorf("returns with no obstacles: %d", len(got))
+	}
+}
+
+func TestProjectionRoundtripProperty(t *testing.T) {
+	// A projected obstacle's center column maps back to its bearing.
+	f := func(x, y float64) bool {
+		x = 5 + math.Mod(math.Abs(x), 40)
+		y = math.Mod(y, 5)
+		ob := RenderObstacle{Pose: geom.Pose{Pos: geom.V2(x, y)}, HalfL: 2.25, HalfW: 1}
+		proj, ok := Project(CamCenter, geom.Pose{}, &ob)
+		if !ok {
+			return true
+		}
+		lat := ColLateral(int(proj.UC+0.5), x)
+		return math.Abs(lat-y) < 1.0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,438 @@
+// Package sim is the experiment harness: it wires the world simulator,
+// sensors, the sensor data distributor, the agents, the control fusion
+// engine and (optionally) a fault injector into one synchronous
+// 40 Hz closed loop, producing a trace per run. It is the analogue of
+// the paper's Driver + simulator + DiverseAV-enabled ADS stack (Fig 3).
+package sim
+
+import (
+	"errors"
+	"math"
+
+	"diverseav/internal/agent"
+	"diverseav/internal/fi"
+	"diverseav/internal/geom"
+	"diverseav/internal/physics"
+	"diverseav/internal/rng"
+	"diverseav/internal/scenario"
+	"diverseav/internal/sensor"
+	"diverseav/internal/trace"
+	"diverseav/internal/vm"
+)
+
+// Hz is the synchronous sensor/control frequency, matching the paper's
+// CARLA configuration.
+const Hz = 40.0
+
+// Mode selects the agent configuration (paper §IV-B: round-robin,
+// duplicate, or single).
+type Mode int
+
+// Agent modes.
+const (
+	// Single runs one agent on every frame (the original ADS).
+	Single Mode = iota
+	// RoundRobin is DiverseAV: two agents, alternating frames.
+	RoundRobin
+	// Duplicate is the loosely-coupled fully-duplicated baseline
+	// (FD-ADS): two agents, each receiving every frame.
+	Duplicate
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case RoundRobin:
+		return "diverseav"
+	case Duplicate:
+		return "duplicate"
+	default:
+		return "single"
+	}
+}
+
+// Agents returns the number of agent instances the mode runs.
+func (m Mode) Agents() int {
+	if m == Single {
+		return 1
+	}
+	return 2
+}
+
+// Config is one experimental run's configuration.
+type Config struct {
+	Scenario *scenario.Scenario
+	Mode     Mode
+	Seed     uint64
+	// Fault, when non-nil, is injected: a transient plan attaches to
+	// FaultAgent's machine only (a transient fault strikes one process),
+	// a permanent plan attaches to every agent's machine (the processor
+	// is shared, §VI-A).
+	Fault      *fi.Plan
+	FaultAgent int
+	// Profile, when non-nil, records the fault-free instruction profile
+	// of agent 0 (used by planners). Mutually exclusive with Fault.
+	Profile *fi.Profile
+	// SensorNoiseStd overrides the camera noise amplitude when > 0.
+	SensorNoiseStd float64
+	// Overlap is the fraction of frames delivered to BOTH agents in
+	// round-robin mode (the paper's §III-D footnote: for an ADS with a
+	// lower engineering margin the distributor can reduce the input rate
+	// by less than 50%, at extra compute cost). 0 = pure round-robin;
+	// 0.5 = every second frame is duplicated to both agents.
+	Overlap float64
+	// MemFault, when non-nil, flips a bit in an agent's fabric memory at
+	// a chosen step — the paper's §VIII "ECC disabled" extension, where
+	// memory faults propagate to the actuation level instead of being
+	// corrected.
+	MemFault *MemFault
+	// StepHook, when non-nil, observes each step after sensing and
+	// before agent execution (visualization and debugging).
+	StepHook func(step int, env *scenario.Env, frames *[3]sensor.Frame)
+}
+
+// MemFault is a single uncorrected memory bit flip (ECC-off model).
+type MemFault struct {
+	Agent int  // which agent's memory
+	Step  int  // simulation step at which the flip lands
+	Addr  int  // word address (clamped into the memory range)
+	Bit   uint // bit position within the 64-bit word
+}
+
+// Result is the run outcome: the full trace plus fault activation
+// bookkeeping.
+type Result struct {
+	Trace       *trace.Trace
+	Activations uint64
+}
+
+// Run executes one experiment synchronously and returns its result.
+func Run(cfg Config) *Result {
+	env := cfg.Scenario.Instantiate(cfg.Seed)
+	root := rng.New(cfg.Seed)
+	imu := sensor.NewIMU(root.Split("imu"))
+	jitter := root.Split("agent-jitter")
+
+	nAgents := cfg.Mode.Agents()
+	agents := make([]*agent.Agent, nAgents)
+	injectors := make([]*fi.Injector, 0, nAgents)
+	for i := range agents {
+		agents[i] = agent.New(agentName(i))
+		switch {
+		case cfg.Fault != nil:
+			// A transient fault strikes one process. A permanent fault
+			// strikes the shared processor, so in round-robin (and
+			// single) mode it reaches every agent; the FD baseline's
+			// agents run on dedicated processors, so there it strikes
+			// only one replica (§VI-B).
+			shared := cfg.Fault.Model == fi.Permanent && cfg.Mode != Duplicate
+			if shared || i == cfg.FaultAgent%nAgents {
+				inj := fi.NewInjector(*cfg.Fault)
+				agents[i].Machine().SetFaultHook(inj.Hook)
+				injectors = append(injectors, inj)
+			}
+		case cfg.Profile != nil && i == 0:
+			agents[i].Machine().SetFaultHook(cfg.Profile.Observe())
+		}
+	}
+
+	noiseStd := 1.2
+	if cfg.SensorNoiseStd > 0 {
+		noiseStd = cfg.SensorNoiseStd
+	}
+
+	tr := &trace.Trace{
+		Scenario: cfg.Scenario.Name,
+		Mode:     cfg.Mode.String(),
+		Seed:     cfg.Seed,
+		Hz:       Hz,
+		Outcome:  trace.OutcomeCompleted,
+	}
+	if cfg.Fault != nil {
+		tr.Fault = cfg.Fault.String()
+	}
+
+	steps := int(cfg.Scenario.Duration * Hz)
+	dt := 1.0 / Hz
+	var applied physics.Controls
+	appliedBy := -1
+	// lastFrame tracks when each agent last received data, for its
+	// effective sensing period (varies under partial overlap).
+	lastFrame := [2]int{-1, -1}
+	frames := [3]sensor.Frame{sensor.NewFrame(), sensor.NewFrame(), sensor.NewFrame()}
+
+	for step := 0; step < steps; step++ {
+		t := float64(step) * dt
+
+		// NPC intent and physics.
+		for _, n := range env.NPCs {
+			if n.Script != nil {
+				n.Script(t, n, env)
+			}
+			n.Follower.Step(dt)
+		}
+
+		// Sensing.
+		st0, _ := env.Route.Path.Project(env.Ego.State.Pose.Pos)
+		scene := buildScene(env, st0, t, step, cfg.Seed, noiseStd)
+		sensor.Render(sensor.CamCenter, scene, frames[0])
+		sensor.Render(sensor.CamLeft, scene, frames[1])
+		sensor.Render(sensor.CamRight, scene, frames[2])
+		reading := imu.Read(env.Ego.State)
+		limit := env.Route.LimitAt(st0)
+		if cfg.StepHook != nil {
+			cfg.StepHook(step, env, &frames)
+		}
+
+		// ECC-off memory fault (§VIII extension).
+		if mf := cfg.MemFault; mf != nil && step == mf.Step {
+			mem := agents[mf.Agent%nAgents].Machine().Mem()
+			addr := mf.Addr
+			if addr < 0 {
+				addr = 0
+			}
+			if addr >= len(mem) {
+				addr = len(mem) - 1
+			}
+			mem[addr] = math.Float64frombits(math.Float64bits(mem[addr]) ^ (1 << (mf.Bit & 63)))
+		}
+
+		// Distribution, agent execution, fusion.
+		var cmds [2]trace.Cmd
+		for id, ag := range agents {
+			if !receives(cfg.Mode, cfg.Overlap, id, step) {
+				continue
+			}
+			in := agent.Input{
+				Center: frames[0], Left: frames[1], Right: frames[2],
+				Speed:      float64(reading.Speed),
+				Dt:         float64(step-lastFrame[id]) / Hz,
+				SpeedLimit: limit,
+				FrameIndex: step,
+			}
+			lastFrame[id] = step
+			if cfg.Mode == Duplicate {
+				// The FD baseline's agents sample their sensors
+				// independently; this per-agent measurement jitter stands
+				// in for the inherent software/hardware non-determinism
+				// the paper observes between loosely-coupled replicas.
+				in.Speed += jitter.NormScaled(0, 0.03)
+			}
+			out, err := ag.Step(&in)
+			if err != nil {
+				finishDUE(tr, env, step, err)
+				recordInstr(tr, agents)
+				return &Result{Trace: tr, Activations: totalActivations(injectors)}
+			}
+			cmds[id] = trace.Cmd{
+				Valid:        true,
+				Throttle:     out.Controls.Throttle,
+				Brake:        out.Controls.Brake,
+				Steer:        out.Controls.Steer,
+				ObstacleDist: out.ObstacleDist,
+			}
+			if fusionDrives(cfg.Mode, id, step) {
+				applied = out.Controls
+				appliedBy = id
+			}
+		}
+
+		// Actuation and kinematics.
+		env.Ego.Step(applied, dt)
+
+		// Record.
+		cvip, ok := physics.CVIP(env.Ego, npcVehicles(env), 2.2, 80)
+		if !ok {
+			cvip = -1
+		}
+		s := env.Ego.State
+		tr.Steps = append(tr.Steps, trace.Step{
+			T: t,
+			X: s.Pose.Pos.X, Y: s.Pose.Pos.Y, Z: 0,
+			V: s.V, A: s.A, Omega: s.Omega, AlphaDot: s.AlphaDot,
+			Throttle: applied.Throttle, Brake: applied.Brake, Steer: applied.Steer,
+			AgentID: appliedBy,
+			Cmd:     cmds,
+			CVIP:    cvip,
+		})
+		tr.EndStep = step
+
+		// Safety check.
+		for _, n := range env.NPCs {
+			if physics.Collides(env.Ego, n.Follower.Vehicle) {
+				tr.Outcome = trace.OutcomeCollision
+				tr.CollisionStep = step
+				recordInstr(tr, agents)
+				return &Result{Trace: tr, Activations: totalActivations(injectors)}
+			}
+		}
+	}
+
+	recordInstr(tr, agents)
+	return &Result{Trace: tr, Activations: totalActivations(injectors)}
+}
+
+func agentName(i int) string {
+	if i == 0 {
+		return "agent0"
+	}
+	return "agent1"
+}
+
+// receives implements the sensor data distributor: which agent gets the
+// frame at this step. In round-robin mode a nonzero overlap fraction
+// duplicates every ⌈1/overlap⌉-th frame to both agents (§III-D
+// footnote).
+func receives(m Mode, overlap float64, id, step int) bool {
+	switch m {
+	case Single:
+		return id == 0
+	case RoundRobin:
+		if step%2 == id {
+			return true
+		}
+		if overlap > 0 {
+			period := int(1/overlap + 0.5)
+			if period < 1 {
+				period = 1
+			}
+			return step%period == 0
+		}
+		return false
+	default: // Duplicate
+		return true
+	}
+}
+
+// fusionDrives implements the control fusion engine: whose actuation
+// command drives the vehicle this step.
+func fusionDrives(m Mode, id, step int) bool {
+	switch m {
+	case Single:
+		return id == 0
+	case RoundRobin:
+		return step%2 == id
+	default:
+		// FD-ADS drives with agent 0 and uses agent 1 purely as a
+		// detection reference (§VI-B).
+		return id == 0
+	}
+}
+
+func npcVehicles(env *scenario.Env) []*physics.Vehicle {
+	vs := make([]*physics.Vehicle, 0, len(env.NPCs))
+	for _, n := range env.NPCs {
+		vs = append(vs, n.Follower.Vehicle)
+	}
+	return vs
+}
+
+// buildScene assembles the rasterizer input for the current step.
+func buildScene(env *scenario.Env, st0, t float64, step int, seed uint64, noiseStd float64) *sensor.Scene {
+	obstacles := make([]sensor.RenderObstacle, 0, len(env.NPCs))
+	for _, n := range env.NPCs {
+		v := n.Follower.Vehicle
+		obstacles = append(obstacles, sensor.RenderObstacle{
+			Pose:    v.State.Pose,
+			HalfL:   v.HalfL,
+			HalfW:   v.HalfW,
+			Braking: n.Braking,
+		})
+	}
+	var bars []sensor.StopBar
+	if light, ok := env.Town.NextLight(env.Route.LaneID, st0); ok {
+		if d := light.Station - st0; d < 70 && light.StateAt(t) != 0 {
+			bars = append(bars, sensor.StopBar{Dist: d})
+		}
+	}
+	ego := env.Ego.State.Pose
+	route := env.Route.Path
+	return &sensor.Scene{
+		EgoPose: ego,
+		RoadCenterAhead: func(dist float64) float64 {
+			p := route.At(st0 + dist)
+			local := ego.ToLocal(p)
+			// The route path is the ego lane centerline; the road center
+			// sits half a lane to its left.
+			return local.Y + 1.75
+		},
+		RoadHalfWidth:   3.5,
+		LaneMarkOffsets: []float64{-3.5, 0, 3.5},
+		Obstacles:       obstacles,
+		StopBars:        bars,
+		Step:            step,
+		NoiseSeed:       seed,
+		NoiseStd:        noiseStd,
+	}
+}
+
+// finishDUE records a platform-detected crash/hang.
+func finishDUE(tr *trace.Trace, env *scenario.Env, step int, err error) {
+	var trap *vm.Trap
+	if errors.As(err, &trap) && trap.Kind == vm.TrapStepBudget {
+		tr.Outcome = trace.OutcomeHang
+	} else {
+		tr.Outcome = trace.OutcomeCrash
+	}
+	tr.EndStep = step
+	_ = env
+}
+
+func recordInstr(tr *trace.Trace, agents []*agent.Agent) {
+	for i, ag := range agents {
+		tr.InstrCPU[i] = ag.Machine().InstrCount(vm.CPU)
+		tr.InstrGPU[i] = ag.Machine().InstrCount(vm.GPU)
+	}
+}
+
+func totalActivations(injectors []*fi.Injector) uint64 {
+	var sum uint64
+	for _, in := range injectors {
+		sum += in.Activations()
+	}
+	return sum
+}
+
+// MaxTrajectoryDivergence returns max_t |pos_t − base_t| between a trace
+// and a baseline trajectory (the paper's δ_pos). The comparison runs
+// over the overlapping prefix.
+func MaxTrajectoryDivergence(tr *trace.Trace, base []geom.Vec2) float64 {
+	n := len(tr.Steps)
+	if len(base) < n {
+		n = len(base)
+	}
+	maxD := 0.0
+	for i := 0; i < n; i++ {
+		d := geom.V2(tr.Steps[i].X, tr.Steps[i].Y).Dist(base[i])
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// MeanTrajectory computes the per-step mean position over a set of
+// traces, up to the length of the shortest (the golden baseline of
+// §V-B/§V-C).
+func MeanTrajectory(traces []*trace.Trace) []geom.Vec2 {
+	if len(traces) == 0 {
+		return nil
+	}
+	n := math.MaxInt
+	for _, tr := range traces {
+		if len(tr.Steps) < n {
+			n = len(tr.Steps)
+		}
+	}
+	out := make([]geom.Vec2, n)
+	for _, tr := range traces {
+		for i := 0; i < n; i++ {
+			out[i].X += tr.Steps[i].X
+			out[i].Y += tr.Steps[i].Y
+		}
+	}
+	for i := range out {
+		out[i] = out[i].Scale(1 / float64(len(traces)))
+	}
+	return out
+}

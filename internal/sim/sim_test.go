@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"diverseav/internal/scenario"
+	"diverseav/internal/trace"
+)
+
+func runScenario(t *testing.T, sc *scenario.Scenario, mode Mode, seed uint64) *Result {
+	t.Helper()
+	res := Run(Config{Scenario: sc, Mode: mode, Seed: seed})
+	if res == nil || res.Trace == nil {
+		t.Fatal("nil result")
+	}
+	return res
+}
+
+func TestLeadSlowdownGoldenSingleIsSafe(t *testing.T) {
+	res := runScenario(t, scenario.LeadSlowdown(), Single, 1)
+	tr := res.Trace
+	if tr.Outcome != trace.OutcomeCompleted {
+		t.Fatalf("outcome = %s, want completed", tr.Outcome)
+	}
+	// The ego must have actually driven and then braked for the lead.
+	maxV, minCVIP := 0.0, math.Inf(1)
+	for _, s := range tr.Steps {
+		if s.V > maxV {
+			maxV = s.V
+		}
+		if s.CVIP >= 0 && s.CVIP < minCVIP {
+			minCVIP = s.CVIP
+		}
+	}
+	if maxV < 8 {
+		t.Errorf("max speed = %v, ego never got going", maxV)
+	}
+	if minCVIP > 20 {
+		t.Errorf("min CVIP = %v, lead slowdown never became critical", minCVIP)
+	}
+	if minCVIP <= 0.3 {
+		t.Errorf("min CVIP = %v, ego nearly collided in a golden run", minCVIP)
+	}
+	// The ego should be (nearly) stopped behind the stopped lead at the
+	// end.
+	if v := tr.Steps[len(tr.Steps)-1].V; v > 1.5 {
+		t.Errorf("final speed = %v, ego failed to stop behind stopped lead", v)
+	}
+}
+
+func TestGhostCutInGoldenSingleIsSafe(t *testing.T) {
+	res := runScenario(t, scenario.GhostCutIn(), Single, 2)
+	if res.Trace.Outcome != trace.OutcomeCompleted {
+		t.Fatalf("outcome = %s, want completed", res.Trace.Outcome)
+	}
+}
+
+func TestFrontAccidentGoldenSingleIsSafe(t *testing.T) {
+	res := runScenario(t, scenario.FrontAccident(), Single, 3)
+	if res.Trace.Outcome != trace.OutcomeCompleted {
+		t.Fatalf("outcome = %s, want completed", res.Trace.Outcome)
+	}
+	if v := res.Trace.Steps[len(res.Trace.Steps)-1].V; v > 1.5 {
+		t.Errorf("final speed = %v, ego failed to stop behind the accident", v)
+	}
+}
+
+func TestLeadSlowdownGoldenDiverseAVIsSafe(t *testing.T) {
+	res := runScenario(t, scenario.LeadSlowdown(), RoundRobin, 4)
+	tr := res.Trace
+	if tr.Outcome != trace.OutcomeCompleted {
+		t.Fatalf("outcome = %s, want completed", tr.Outcome)
+	}
+	// Both agents must have produced commands, on alternating steps.
+	saw := [2]int{}
+	for i, s := range tr.Steps {
+		for id := 0; id < 2; id++ {
+			if s.Cmd[id].Valid {
+				saw[id]++
+				if i%2 != id {
+					t.Fatalf("agent %d ran at step %d (round-robin violated)", id, i)
+				}
+			}
+		}
+	}
+	if saw[0] == 0 || saw[1] == 0 {
+		t.Fatalf("agent commands: %v, want both active", saw)
+	}
+}

@@ -1,0 +1,308 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"diverseav/internal/rng"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPercentileBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !approx(got, c.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); !approx(got, 5) {
+		t.Errorf("interpolated median = %v, want 5", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on empty input")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Range(-100, 100)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(xs, p)
+			if v < prev-1e-12 {
+				t.Fatalf("percentile not monotone at p=%v: %v < %v", p, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !approx(got, 5) {
+		t.Errorf("Mean = %v", got)
+	}
+	// Sample stddev of this classic dataset is sqrt(32/7).
+	if got := StdDev(xs); !approx(got, math.Sqrt(32.0/7.0)) {
+		t.Errorf("StdDev = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := StdDev([]float64{1}); got != 0 {
+		t.Errorf("StdDev(single) = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(nil); !math.IsInf(got, -1) {
+		t.Errorf("Max(nil) = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	s := Summarize(xs)
+	if s.Min != 1 || s.Max != 5 || !approx(s.Median, 3) {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if !approx(s.Q1, 2) || !approx(s.Q3, 4) {
+		t.Errorf("quartiles = %+v", s)
+	}
+}
+
+func TestSummarizeOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Errorf("bin %d count = %d, want 1", i, c)
+		}
+	}
+	if h.N != 10 {
+		t.Errorf("N = %d", h.N)
+	}
+}
+
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(-5)
+	h.Add(100)
+	if h.Counts[0] != 1 || h.Counts[9] != 1 {
+		t.Errorf("out-of-range not clamped: %v", h.Counts)
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	med := h.Percentile(50)
+	if math.Abs(med-50) > 2 {
+		t.Errorf("histogram median = %v, want ≈ 50", med)
+	}
+	if h.Percentile(90) < h.Percentile(50) {
+		t.Error("histogram percentiles not monotone")
+	}
+	empty := NewHistogram(0, 1, 4)
+	if got := empty.Percentile(50); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}
+
+func TestHistogramMatchesExactPercentiles(t *testing.T) {
+	r := rng.New(2)
+	h := NewHistogram(0, 1, 1000)
+	var xs []float64
+	for i := 0; i < 20000; i++ {
+		x := r.Float64()
+		h.Add(x)
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	for _, p := range []float64{10, 50, 90} {
+		exact := Percentile(xs, p)
+		approxP := h.Percentile(p)
+		if math.Abs(exact-approxP) > 0.005 {
+			t.Errorf("p%v: histogram %v vs exact %v", p, approxP, exact)
+		}
+	}
+}
+
+func TestRollingMean(t *testing.T) {
+	r := NewRolling(3)
+	if r.Mean() != 0 {
+		t.Error("empty mean not 0")
+	}
+	r.Push(3)
+	if !approx(r.Mean(), 3) {
+		t.Errorf("mean after 1 = %v", r.Mean())
+	}
+	r.Push(6)
+	r.Push(9)
+	if !approx(r.Mean(), 6) {
+		t.Errorf("mean full = %v", r.Mean())
+	}
+	if !r.Full() {
+		t.Error("window should be full")
+	}
+	r.Push(12) // evicts 3
+	if !approx(r.Mean(), 9) {
+		t.Errorf("mean after eviction = %v", r.Mean())
+	}
+}
+
+func TestRollingMatchesNaive(t *testing.T) {
+	rand := rng.New(3)
+	const size = 7
+	w := NewRolling(size)
+	var hist []float64
+	for i := 0; i < 500; i++ {
+		x := rand.Range(-10, 10)
+		w.Push(x)
+		hist = append(hist, x)
+		lo := len(hist) - size
+		if lo < 0 {
+			lo = 0
+		}
+		want := Mean(hist[lo:])
+		if math.Abs(w.Mean()-want) > 1e-9 {
+			t.Fatalf("rolling mean diverged at step %d: %v vs %v", i, w.Mean(), want)
+		}
+	}
+}
+
+func TestRollingReset(t *testing.T) {
+	r := NewRolling(2)
+	r.Push(5)
+	r.Push(6)
+	r.Reset()
+	if r.Len() != 0 || r.Mean() != 0 {
+		t.Error("reset did not clear window")
+	}
+	r.Push(4)
+	if !approx(r.Mean(), 4) {
+		t.Errorf("mean after reset+push = %v", r.Mean())
+	}
+}
+
+func TestRollingPanicsOnZeroSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for size 0")
+		}
+	}()
+	NewRolling(0)
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	var c Confusion
+	// 8 positives: 6 detected; 20 negatives: 2 false alarms.
+	for i := 0; i < 6; i++ {
+		c.Add(true, true)
+	}
+	for i := 0; i < 2; i++ {
+		c.Add(true, false)
+	}
+	for i := 0; i < 2; i++ {
+		c.Add(false, true)
+	}
+	for i := 0; i < 18; i++ {
+		c.Add(false, false)
+	}
+	if !approx(c.Precision(), 6.0/8.0) {
+		t.Errorf("precision = %v", c.Precision())
+	}
+	if !approx(c.Recall(), 6.0/8.0) {
+		t.Errorf("recall = %v", c.Recall())
+	}
+	wantF1 := 2 * 0.75 * 0.75 / 1.5
+	if !approx(c.F1(), wantF1) {
+		t.Errorf("F1 = %v, want %v", c.F1(), wantF1)
+	}
+}
+
+func TestConfusionUndefinedMetrics(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Error("empty confusion should yield zero metrics")
+	}
+}
+
+func TestConfusionF1BoundsProperty(t *testing.T) {
+	f := func(tp, fp, tn, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), TN: int(tn), FN: int(fn)}
+		p, r, f1 := c.Precision(), c.Recall(), c.F1()
+		inRange := func(x float64) bool { return x >= 0 && x <= 1 }
+		if !inRange(p) || !inRange(r) || !inRange(f1) {
+			return false
+		}
+		// F1 lies between min and max of P and R when both defined.
+		if p > 0 && r > 0 {
+			lo, hi := math.Min(p, r), math.Max(p, r)
+			return f1 >= lo-1e-12 && f1 <= hi+1e-12
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package trace defines the per-run records produced by the experiment
+// harness and consumed by the error detectors and the campaign analysis:
+// per-step vehicle state, per-agent actuation commands, CVIP, and run
+// outcome (completion, collision, or DUE). Traces serialize to JSON for
+// the cmd tools.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Cmd is one agent's raw actuation command for a step.
+type Cmd struct {
+	Valid        bool    `json:"valid"`
+	Throttle     float64 `json:"throttle"`
+	Brake        float64 `json:"brake"`
+	Steer        float64 `json:"steer"`
+	ObstacleDist float64 `json:"obstacle_dist"`
+}
+
+// Step is one simulation step's record.
+type Step struct {
+	T float64 `json:"t"`
+	// Ego state: position (the paper's ⟨x,y,z⟩ trajectory trace; z is 0
+	// in the planar world) and the detector's vehicle-state tuple
+	// ⟨v, a, ω, α⟩.
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Z        float64 `json:"z"`
+	V        float64 `json:"v"`
+	A        float64 `json:"a"`
+	Omega    float64 `json:"omega"`
+	AlphaDot float64 `json:"alpha"`
+	// Applied actuation and which agent produced it (-1: carry-over).
+	Throttle float64 `json:"throttle"`
+	Brake    float64 `json:"brake"`
+	Steer    float64 `json:"steer"`
+	AgentID  int     `json:"agent_id"`
+	// Raw per-agent commands (for the FD and DiverseAV detectors).
+	Cmd [2]Cmd `json:"cmd"`
+	// CVIP is the closest-vehicle-in-path distance (<0: none in range).
+	CVIP float64 `json:"cvip"`
+}
+
+// Outcome classifies how a run ended.
+type Outcome string
+
+// Run outcomes. A DUE (hang or crash) is detected by the platform and
+// triggers fail-back; SDC outcomes are only visible through behavior.
+const (
+	OutcomeCompleted Outcome = "completed"
+	OutcomeCollision Outcome = "collision"
+	OutcomeCrash     Outcome = "crash"
+	OutcomeHang      Outcome = "hang"
+)
+
+// Trace is one experimental run's full record.
+type Trace struct {
+	Scenario string  `json:"scenario"`
+	Mode     string  `json:"mode"`
+	Seed     uint64  `json:"seed"`
+	Hz       float64 `json:"hz"`
+	Outcome  Outcome `json:"outcome"`
+	// EndStep is the index of the last recorded step.
+	EndStep int `json:"end_step"`
+	// CollisionStep is valid when Outcome is OutcomeCollision.
+	CollisionStep int `json:"collision_step,omitempty"`
+
+	// Fault bookkeeping.
+	Fault            string `json:"fault,omitempty"`
+	FaultActivations uint64 `json:"fault_activations,omitempty"`
+
+	// Per-agent instruction counts (resource accounting).
+	InstrCPU [2]uint64 `json:"instr_cpu"`
+	InstrGPU [2]uint64 `json:"instr_gpu"`
+
+	Steps []Step `json:"steps"`
+}
+
+// Duration returns the simulated length of the trace in seconds.
+func (tr *Trace) Duration() float64 {
+	return float64(len(tr.Steps)) / tr.Hz
+}
+
+// Collided reports whether the ego vehicle had an accident.
+func (tr *Trace) Collided() bool { return tr.Outcome == OutcomeCollision }
+
+// DUE reports whether the run ended in a platform-detected crash/hang.
+func (tr *Trace) DUE() bool {
+	return tr.Outcome == OutcomeCrash || tr.Outcome == OutcomeHang
+}
+
+// Encode writes the trace as JSON.
+func (tr *Trace) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}
+
+// Decode reads a trace from JSON.
+func Decode(r io.Reader) (*Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return &tr, nil
+}

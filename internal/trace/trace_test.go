@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Trace {
+	tr := &Trace{
+		Scenario: "LeadSlowdown",
+		Mode:     "diverseav",
+		Seed:     7,
+		Hz:       40,
+		Outcome:  OutcomeCollision,
+		EndStep:  1,
+	}
+	tr.CollisionStep = 1
+	tr.Fault = "GPU-permanent op=FMUL bit=52"
+	tr.FaultActivations = 123
+	tr.InstrCPU = [2]uint64{100, 90}
+	tr.InstrGPU = [2]uint64{200, 190}
+	s := Step{T: 0, V: 10, Throttle: 0.5, AgentID: 0, CVIP: 22.5}
+	s.Cmd[0] = Cmd{Valid: true, Throttle: 0.5, ObstacleDist: 30}
+	tr.Steps = append(tr.Steps, s, Step{T: 0.025, AgentID: 1})
+	return tr
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scenario != tr.Scenario || got.Mode != tr.Mode || got.Seed != tr.Seed {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if got.Outcome != OutcomeCollision || got.CollisionStep != 1 {
+		t.Errorf("outcome mismatch: %+v", got)
+	}
+	if len(got.Steps) != 2 {
+		t.Fatalf("steps = %d", len(got.Steps))
+	}
+	if got.Steps[0].Cmd[0] != tr.Steps[0].Cmd[0] {
+		t.Errorf("step cmd mismatch: %+v", got.Steps[0].Cmd[0])
+	}
+	if got.InstrGPU != tr.InstrGPU {
+		t.Errorf("instr mismatch")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestOutcomePredicates(t *testing.T) {
+	cases := []struct {
+		o        Outcome
+		collided bool
+		due      bool
+	}{
+		{OutcomeCompleted, false, false},
+		{OutcomeCollision, true, false},
+		{OutcomeCrash, false, true},
+		{OutcomeHang, false, true},
+	}
+	for _, c := range cases {
+		tr := &Trace{Outcome: c.o}
+		if tr.Collided() != c.collided || tr.DUE() != c.due {
+			t.Errorf("%s: collided=%v due=%v", c.o, tr.Collided(), tr.DUE())
+		}
+	}
+}
+
+func TestDuration(t *testing.T) {
+	tr := &Trace{Hz: 40}
+	for i := 0; i < 80; i++ {
+		tr.Steps = append(tr.Steps, Step{})
+	}
+	if got := tr.Duration(); got != 2.0 {
+		t.Errorf("duration = %v, want 2.0", got)
+	}
+}

@@ -1,0 +1,66 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"diverseav/internal/geom"
+	"diverseav/internal/sensor"
+	"diverseav/internal/trace"
+)
+
+func TestFrameASCIIShape(t *testing.T) {
+	sc := &sensor.Scene{
+		EgoPose:         geom.Pose{},
+		RoadCenterAhead: func(float64) float64 { return 1.75 },
+		RoadHalfWidth:   3.5,
+		LaneMarkOffsets: []float64{0},
+		Obstacles: []sensor.RenderObstacle{{
+			Pose: geom.Pose{Pos: geom.V2(12, 0)}, HalfL: 2.25, HalfW: 1, Braking: true,
+		}},
+		NoiseSeed: 1,
+		NoiseStd:  1,
+	}
+	f := sensor.Render(sensor.CamCenter, sc, nil)
+	s := FrameASCII(f)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != sensor.FrameH {
+		t.Fatalf("lines = %d, want %d", len(lines), sensor.FrameH)
+	}
+	for i, l := range lines {
+		if len(l) != sensor.FrameW {
+			t.Fatalf("line %d width = %d", i, len(l))
+		}
+	}
+	if !strings.Contains(s, "B") {
+		t.Error("vehicle body glyph missing")
+	}
+	if !strings.Contains(s, "R") {
+		t.Error("brake-light glyph missing")
+	}
+	if !strings.Contains(s, "~") {
+		t.Error("grass glyph missing")
+	}
+}
+
+func TestTraceSummary(t *testing.T) {
+	tr := &trace.Trace{Scenario: "LeadSlowdown", Mode: "diverseav", Seed: 3, Hz: 40, Outcome: trace.OutcomeCompleted}
+	for i := 0; i < 120; i++ {
+		tr.Steps = append(tr.Steps, trace.Step{T: float64(i) / 40, V: 8, Throttle: 0.3, CVIP: 20})
+	}
+	s := TraceSummary(tr)
+	if !strings.Contains(s, "LeadSlowdown") || !strings.Contains(s, "completed") {
+		t.Errorf("summary header malformed:\n%s", s)
+	}
+	// One row per second plus header lines.
+	if got := strings.Count(s, "\n"); got < 4 {
+		t.Errorf("summary rows = %d lines", got)
+	}
+}
+
+func TestTraceSummaryZeroHz(t *testing.T) {
+	tr := &trace.Trace{Steps: []trace.Step{{}}}
+	if s := TraceSummary(tr); s == "" {
+		t.Error("empty summary for zero-Hz trace")
+	}
+}

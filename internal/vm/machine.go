@@ -1,0 +1,307 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Register-file sizes. Compile-time arrays keep the interpreter's inner
+// loop allocation-free.
+const (
+	NumFloatRegs = 64
+	NumIntRegs   = 32
+)
+
+// Device distinguishes the two compute-element classes the paper injects
+// into.
+type Device uint8
+
+// Device classes.
+const (
+	CPU Device = iota
+	GPU
+)
+
+// String returns "CPU" or "GPU".
+func (d Device) String() string {
+	if d == GPU {
+		return "GPU"
+	}
+	return "CPU"
+}
+
+// TrapKind classifies abnormal termination of a program run. Traps model
+// the detectable uncorrectable errors (DUEs) of the paper: crashes
+// (segfault/illegal instruction analogues) and hangs.
+type TrapKind uint8
+
+// Trap kinds.
+const (
+	TrapNone       TrapKind = iota
+	TrapOOB                 // memory access outside data memory (segfault)
+	TrapInvalidPC           // control transfer outside the program (crash)
+	TrapStepBudget          // exceeded the per-run step budget (hang)
+	TrapBadInstr            // undefined opcode (illegal instruction)
+)
+
+func (k TrapKind) String() string {
+	switch k {
+	case TrapOOB:
+		return "segfault"
+	case TrapInvalidPC:
+		return "invalid-pc"
+	case TrapStepBudget:
+		return "hang"
+	case TrapBadInstr:
+		return "illegal-instruction"
+	default:
+		return "none"
+	}
+}
+
+// Trap is returned by Machine.Run on abnormal termination.
+type Trap struct {
+	Kind    TrapKind
+	Device  Device
+	Program string
+	PC      int
+}
+
+// Error implements the error interface.
+func (t *Trap) Error() string {
+	return fmt.Sprintf("vm: %s trap on %s in %q at pc=%d", t.Kind, t.Device, t.Program, t.PC)
+}
+
+// WriteEvent describes one writeback, passed to the fault hook before the
+// value is committed. DynIndex is the device's cumulative dynamic
+// instruction index (across all Run calls of this machine), which is how
+// transient-fault plans address their single target instruction.
+type WriteEvent struct {
+	Device   Device
+	Op       Opcode
+	DynIndex uint64
+	Kind     DestKind
+	Index    int // register number or memory address
+}
+
+// FaultHook inspects a writeback and returns an XOR mask to apply to the
+// raw bits of the written value (0 = no corruption). The hook is the
+// NVBitFI/PinFI analogue; see internal/fi for the injectors.
+type FaultHook func(ev WriteEvent) uint64
+
+// deviceState is the per-device register file and instruction counter.
+type deviceState struct {
+	f     [NumFloatRegs]float64
+	r     [NumIntRegs]int64
+	count uint64 // cumulative dynamic instruction count
+}
+
+// Machine is one agent's compute fabric: a CPU-class and a GPU-class
+// device sharing one data memory (the agent's address space). A Machine
+// is private to an agent — DiverseAV's agent-independence assumption is
+// that a fault confined to one machine cannot touch the other agent.
+type Machine struct {
+	mem  []float64
+	dev  [2]deviceState
+	hook FaultHook
+}
+
+// NewMachine allocates a machine with the given data-memory size in
+// 64-bit words.
+func NewMachine(memWords int) *Machine {
+	return &Machine{mem: make([]float64, memWords)}
+}
+
+// SetFaultHook installs (or clears, with nil) the fault-injection hook.
+func (m *Machine) SetFaultHook(h FaultHook) { m.hook = h }
+
+// MemSize returns the data-memory size in words.
+func (m *Machine) MemSize() int { return len(m.mem) }
+
+// Mem returns the backing memory. The simulator host uses it to marshal
+// sensor data in and actuation data out; it is shared, not copied.
+func (m *Machine) Mem() []float64 { return m.mem }
+
+// InstrCount returns the cumulative dynamic instruction count executed on
+// the device so far.
+func (m *Machine) InstrCount(d Device) uint64 { return m.dev[d].count }
+
+// ResetCounts zeroes the dynamic instruction counters (used between
+// profiling and measured runs).
+func (m *Machine) ResetCounts() {
+	m.dev[CPU].count = 0
+	m.dev[GPU].count = 0
+}
+
+// Float returns float register i of the device (for tests).
+func (m *Machine) Float(d Device, i int) float64 { return m.dev[d].f[i] }
+
+// Int returns int register i of the device (for tests).
+func (m *Machine) Int(d Device, i int) int64 { return m.dev[d].r[i] }
+
+// Run executes the program on the given device until HALT, a trap, or the
+// step budget is exhausted. Register state and memory persist across
+// calls; the program counter starts at the program entry every call.
+func (m *Machine) Run(d Device, p *Program, stepBudget uint64) error {
+	ds := &m.dev[d]
+	code := p.Code
+	pc := p.entry
+	var steps uint64
+	for {
+		if pc < 0 || pc >= len(code) {
+			return &Trap{Kind: TrapInvalidPC, Device: d, Program: p.Name, PC: pc}
+		}
+		if steps >= stepBudget {
+			return &Trap{Kind: TrapStepBudget, Device: d, Program: p.Name, PC: pc}
+		}
+		steps++
+		ds.count++
+		in := &code[pc]
+		pc++
+		switch in.Op {
+		case FADD:
+			m.writeF(ds, d, in, ds.f[in.A]+ds.f[in.B])
+		case FSUB:
+			m.writeF(ds, d, in, ds.f[in.A]-ds.f[in.B])
+		case FMUL:
+			m.writeF(ds, d, in, ds.f[in.A]*ds.f[in.B])
+		case FDIV:
+			m.writeF(ds, d, in, ds.f[in.A]/ds.f[in.B])
+		case FMA:
+			m.writeF(ds, d, in, ds.f[in.A]*ds.f[in.B]+ds.f[in.C])
+		case FMIN:
+			m.writeF(ds, d, in, math.Min(ds.f[in.A], ds.f[in.B]))
+		case FMAX:
+			m.writeF(ds, d, in, math.Max(ds.f[in.A], ds.f[in.B]))
+		case FABS:
+			m.writeF(ds, d, in, math.Abs(ds.f[in.A]))
+		case FNEG:
+			m.writeF(ds, d, in, -ds.f[in.A])
+		case FSQRT:
+			m.writeF(ds, d, in, math.Sqrt(ds.f[in.A]))
+		case FEXP:
+			m.writeF(ds, d, in, math.Exp(ds.f[in.A]))
+		case FTANH:
+			m.writeF(ds, d, in, math.Tanh(ds.f[in.A]))
+		case FMOV:
+			m.writeF(ds, d, in, ds.f[in.A])
+		case FMOVI:
+			m.writeF(ds, d, in, in.Imm)
+		case FSEL:
+			if ds.r[in.C] != 0 {
+				m.writeF(ds, d, in, ds.f[in.A])
+			} else {
+				m.writeF(ds, d, in, ds.f[in.B])
+			}
+		case ITOF:
+			m.writeF(ds, d, in, float64(ds.r[in.A]))
+		case IADD:
+			m.writeI(ds, d, in, ds.r[in.A]+ds.r[in.B])
+		case ISUB:
+			m.writeI(ds, d, in, ds.r[in.A]-ds.r[in.B])
+		case IMUL:
+			m.writeI(ds, d, in, ds.r[in.A]*ds.r[in.B])
+		case IAND:
+			m.writeI(ds, d, in, ds.r[in.A]&ds.r[in.B])
+		case IOR:
+			m.writeI(ds, d, in, ds.r[in.A]|ds.r[in.B])
+		case IXOR:
+			m.writeI(ds, d, in, ds.r[in.A]^ds.r[in.B])
+		case ISHL:
+			m.writeI(ds, d, in, ds.r[in.A]<<(uint64(ds.r[in.B])&63))
+		case ISHR:
+			m.writeI(ds, d, in, ds.r[in.A]>>(uint64(ds.r[in.B])&63))
+		case IMOV:
+			m.writeI(ds, d, in, ds.r[in.A])
+		case IMOVI:
+			m.writeI(ds, d, in, in.IImm)
+		case IADDI:
+			m.writeI(ds, d, in, ds.r[in.A]+in.IImm)
+		case FTOI:
+			m.writeI(ds, d, in, saturateToInt(ds.f[in.A]))
+		case ICMPLT:
+			m.writeI(ds, d, in, boolToInt(ds.r[in.A] < ds.r[in.B]))
+		case ICMPEQ:
+			m.writeI(ds, d, in, boolToInt(ds.r[in.A] == ds.r[in.B]))
+		case FCMPLT:
+			m.writeI(ds, d, in, boolToInt(ds.f[in.A] < ds.f[in.B]))
+		case FCMPLE:
+			m.writeI(ds, d, in, boolToInt(ds.f[in.A] <= ds.f[in.B]))
+		case LD:
+			addr := ds.r[in.A] + in.IImm
+			if addr < 0 || addr >= int64(len(m.mem)) {
+				return &Trap{Kind: TrapOOB, Device: d, Program: p.Name, PC: pc - 1}
+			}
+			m.writeF(ds, d, in, m.mem[addr])
+		case ST:
+			addr := ds.r[in.A] + in.IImm
+			if addr < 0 || addr >= int64(len(m.mem)) {
+				return &Trap{Kind: TrapOOB, Device: d, Program: p.Name, PC: pc - 1}
+			}
+			v := ds.f[in.B]
+			if m.hook != nil {
+				if mask := m.hook(WriteEvent{Device: d, Op: ST, DynIndex: ds.count, Kind: DestMem, Index: int(addr)}); mask != 0 {
+					v = math.Float64frombits(math.Float64bits(v) ^ mask)
+				}
+			}
+			m.mem[addr] = v
+		case JMP:
+			pc = int(in.IImm)
+		case BEQZ:
+			if ds.r[in.A] == 0 {
+				pc = int(in.IImm)
+			}
+		case BNEZ:
+			if ds.r[in.A] != 0 {
+				pc = int(in.IImm)
+			}
+		case HALT:
+			return nil
+		default:
+			return &Trap{Kind: TrapBadInstr, Device: d, Program: p.Name, PC: pc - 1}
+		}
+	}
+}
+
+// writeF commits a float-register writeback, applying the fault hook.
+func (m *Machine) writeF(ds *deviceState, d Device, in *Instr, v float64) {
+	if m.hook != nil {
+		if mask := m.hook(WriteEvent{Device: d, Op: in.Op, DynIndex: ds.count, Kind: DestFloat, Index: int(in.Dst)}); mask != 0 {
+			v = math.Float64frombits(math.Float64bits(v) ^ mask)
+		}
+	}
+	ds.f[in.Dst] = v
+}
+
+// writeI commits an int-register writeback, applying the fault hook.
+func (m *Machine) writeI(ds *deviceState, d Device, in *Instr, v int64) {
+	if m.hook != nil {
+		if mask := m.hook(WriteEvent{Device: d, Op: in.Op, DynIndex: ds.count, Kind: DestInt, Index: int(in.Dst)}); mask != 0 {
+			v ^= int64(mask)
+		}
+	}
+	ds.r[in.Dst] = v
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// saturateToInt converts a float to int64, saturating on NaN/overflow the
+// way real hardware conversion instructions do rather than invoking
+// undefined behavior.
+func saturateToInt(f float64) int64 {
+	switch {
+	case math.IsNaN(f):
+		return 0
+	case f >= math.MaxInt64:
+		return math.MaxInt64
+	case f <= math.MinInt64:
+		return math.MinInt64
+	default:
+		return int64(f)
+	}
+}

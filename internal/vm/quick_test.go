@@ -1,0 +1,207 @@
+package vm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// runBinOp executes a single float binary op on fresh machine state.
+func runBinOp(t *testing.T, op func(b *Builder), a, c float64) float64 {
+	t.Helper()
+	b := NewBuilder("q")
+	b.FMovI(0, a)
+	b.FMovI(1, c)
+	op(b)
+	b.Halt()
+	m := NewMachine(4)
+	if err := m.Run(GPU, b.MustBuild(), 1<<16); err != nil {
+		t.Fatal(err)
+	}
+	return m.Float(GPU, 2)
+}
+
+func finite(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuickFAddMatchesGo(t *testing.T) {
+	f := func(a, c float64) bool {
+		if !finite(a, c) {
+			return true
+		}
+		got := runBinOp(t, func(b *Builder) { b.FAdd(2, 0, 1) }, a, c)
+		return got == a+c || (math.IsNaN(got) && math.IsNaN(a+c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFMAMatchesGo(t *testing.T) {
+	f := func(a, c, d float64) bool {
+		if !finite(a, c, d) {
+			return true
+		}
+		b := NewBuilder("q")
+		b.FMovI(0, a)
+		b.FMovI(1, c)
+		b.FMovI(3, d)
+		b.FMA(2, 0, 1, 3)
+		b.Halt()
+		m := NewMachine(4)
+		if err := m.Run(GPU, b.MustBuild(), 1<<16); err != nil {
+			return false
+		}
+		want := a*c + d
+		got := m.Float(GPU, 2)
+		return got == want || (math.IsNaN(got) && math.IsNaN(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFMinFMaxOrdering(t *testing.T) {
+	f := func(a, c float64) bool {
+		if !finite(a, c) {
+			return true
+		}
+		lo := runBinOp(t, func(b *Builder) { b.FMin(2, 0, 1) }, a, c)
+		hi := runBinOp(t, func(b *Builder) { b.FMax(2, 0, 1) }, a, c)
+		return lo <= hi && lo == math.Min(a, c) && hi == math.Max(a, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntOpsMatchGo(t *testing.T) {
+	f := func(a, c int64) bool {
+		b := NewBuilder("q")
+		b.IMovI(0, a)
+		b.IMovI(1, c)
+		b.IAdd(2, 0, 1)
+		b.ISub(3, 0, 1)
+		b.IMul(4, 0, 1)
+		b.IAnd(5, 0, 1)
+		b.IOr(6, 0, 1)
+		b.IXor(7, 0, 1)
+		b.Halt()
+		m := NewMachine(4)
+		if err := m.Run(CPU, b.MustBuild(), 1<<16); err != nil {
+			return false
+		}
+		return m.Int(CPU, 2) == a+c && m.Int(CPU, 3) == a-c &&
+			m.Int(CPU, 4) == a*c && m.Int(CPU, 5) == a&c &&
+			m.Int(CPU, 6) == a|c && m.Int(CPU, 7) == a^c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMemoryRoundTrip(t *testing.T) {
+	f := func(v float64, addrRaw uint16) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		addr := int64(addrRaw % 64)
+		b := NewBuilder("q")
+		b.IMovI(0, addr)
+		b.FMovI(0, v)
+		b.St(0, 0, 0)
+		b.Ld(1, 0, 0)
+		b.Halt()
+		m := NewMachine(64)
+		if err := m.Run(CPU, b.MustBuild(), 1<<16); err != nil {
+			return false
+		}
+		return m.Float(CPU, 1) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOOBAlwaysTraps(t *testing.T) {
+	f := func(addrRaw int64) bool {
+		addr := addrRaw
+		if addr >= 0 && addr < 64 {
+			addr += 64 // force out of range
+		}
+		b := NewBuilder("q")
+		b.IMovI(0, addr)
+		b.Ld(1, 0, 0)
+		b.Halt()
+		m := NewMachine(64)
+		err := m.Run(CPU, b.MustBuild(), 1<<16)
+		trap, ok := err.(*Trap)
+		return ok && trap.Kind == TrapOOB
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCorruptionChangesExactlyTargetBits(t *testing.T) {
+	// XOR-corrupting a writeback flips exactly the masked bits of the
+	// written value's representation.
+	f := func(v float64, bit uint8) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		mask := uint64(1) << (bit & 63)
+		b := NewBuilder("q")
+		b.FMovI(0, v)
+		b.Halt()
+		m := NewMachine(4)
+		m.SetFaultHook(func(ev WriteEvent) uint64 { return mask })
+		if err := m.Run(GPU, b.MustBuild(), 1<<16); err != nil {
+			return false
+		}
+		got := math.Float64bits(m.Float(GPU, 0))
+		return got^math.Float64bits(v) == mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeterministicExecution(t *testing.T) {
+	// The same program on two fresh machines yields identical register
+	// files — the foundation of the agent-determinism argument.
+	f := func(a, c float64, n uint8) bool {
+		if !finite(a, c) {
+			return true
+		}
+		build := func() *Machine {
+			b := NewBuilder("q")
+			b.FMovI(0, a)
+			b.FMovI(1, c)
+			for i := 0; i < int(n%16); i++ {
+				b.FMA(2, 0, 1, 2)
+				b.FTanh(3, 2)
+			}
+			b.Halt()
+			m := NewMachine(4)
+			if err := m.Run(GPU, b.MustBuild(), 1<<16); err != nil {
+				return nil
+			}
+			return m
+		}
+		m1, m2 := build(), build()
+		if m1 == nil || m2 == nil {
+			return m1 == m2
+		}
+		return m1.Float(GPU, 2) == m2.Float(GPU, 2) && m1.Float(GPU, 3) == m2.Float(GPU, 3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,475 @@
+package vm
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+const budget = 1 << 20
+
+func run(t *testing.T, m *Machine, d Device, p *Program) {
+	t.Helper()
+	if err := m.Run(d, p, budget); err != nil {
+		t.Fatalf("Run(%s): %v", p.Name, err)
+	}
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	b := NewBuilder("arith")
+	b.FMovI(0, 3)
+	b.FMovI(1, 4)
+	b.FAdd(2, 0, 1)   // 7
+	b.FSub(3, 0, 1)   // -1
+	b.FMul(4, 0, 1)   // 12
+	b.FDiv(5, 1, 0)   // 4/3
+	b.FMA(6, 0, 1, 2) // 3*4+7 = 19
+	b.FMin(7, 0, 1)   // 3
+	b.FMax(8, 0, 1)   // 4
+	b.FAbs(9, 3)      // 1
+	b.FNeg(10, 0)     // -3
+	b.FSqrt(11, 1)    // 2
+	b.Halt()
+	p := b.MustBuild()
+	m := NewMachine(16)
+	run(t, m, GPU, p)
+	want := map[int]float64{2: 7, 3: -1, 4: 12, 5: 4.0 / 3.0, 6: 19, 7: 3, 8: 4, 9: 1, 10: -3, 11: 2}
+	for reg, w := range want {
+		if got := m.Float(GPU, reg); math.Abs(got-w) > 1e-12 {
+			t.Errorf("f%d = %v, want %v", reg, got, w)
+		}
+	}
+}
+
+func TestTranscendentals(t *testing.T) {
+	b := NewBuilder("trans")
+	b.FMovI(0, 1)
+	b.FExp(1, 0)
+	b.FTanh(2, 0)
+	b.Halt()
+	m := NewMachine(4)
+	run(t, m, GPU, b.MustBuild())
+	if got := m.Float(GPU, 1); math.Abs(got-math.E) > 1e-12 {
+		t.Errorf("exp(1) = %v", got)
+	}
+	if got := m.Float(GPU, 2); math.Abs(got-math.Tanh(1)) > 1e-12 {
+		t.Errorf("tanh(1) = %v", got)
+	}
+}
+
+func TestIntArithmeticAndBitOps(t *testing.T) {
+	b := NewBuilder("int")
+	b.IMovI(0, 12)
+	b.IMovI(1, 5)
+	b.IAdd(2, 0, 1)
+	b.ISub(3, 0, 1)
+	b.IMul(4, 0, 1)
+	b.IAnd(5, 0, 1)
+	b.IOr(6, 0, 1)
+	b.IXor(7, 0, 1)
+	b.IMovI(8, 2)
+	b.IShl(9, 0, 8)
+	b.IShr(10, 0, 8)
+	b.IAddI(11, 0, -100)
+	b.Halt()
+	m := NewMachine(4)
+	run(t, m, CPU, b.MustBuild())
+	want := map[int]int64{2: 17, 3: 7, 4: 60, 5: 4, 6: 13, 7: 9, 9: 48, 10: 3, 11: -88}
+	for reg, w := range want {
+		if got := m.Int(CPU, reg); got != w {
+			t.Errorf("r%d = %v, want %v", reg, got, w)
+		}
+	}
+}
+
+func TestComparisonsAndSelect(t *testing.T) {
+	b := NewBuilder("cmp")
+	b.FMovI(0, 1)
+	b.FMovI(1, 2)
+	b.FCmpLt(0, 0, 1) // 1 < 2 -> r0 = 1
+	b.FCmpLe(1, 1, 1) // 2 <= 2 -> r1 = 1
+	b.FCmpLt(2, 1, 0) // 2 < 1 -> r2 = 0
+	b.IMovI(3, 5)
+	b.IMovI(4, 5)
+	b.ICmpEq(5, 3, 4)  // 1
+	b.ICmpLt(6, 3, 4)  // 0
+	b.FSel(2, 0, 1, 0) // r0 != 0 -> f2 = f0 = 1
+	b.FSel(3, 0, 1, 2) // r2 == 0 -> f3 = f1 = 2
+	b.Halt()
+	m := NewMachine(4)
+	run(t, m, GPU, b.MustBuild())
+	if m.Int(GPU, 0) != 1 || m.Int(GPU, 1) != 1 || m.Int(GPU, 2) != 0 {
+		t.Errorf("float compares: %d %d %d", m.Int(GPU, 0), m.Int(GPU, 1), m.Int(GPU, 2))
+	}
+	if m.Int(GPU, 5) != 1 || m.Int(GPU, 6) != 0 {
+		t.Errorf("int compares: %d %d", m.Int(GPU, 5), m.Int(GPU, 6))
+	}
+	if m.Float(GPU, 2) != 1 || m.Float(GPU, 3) != 2 {
+		t.Errorf("select: %v %v", m.Float(GPU, 2), m.Float(GPU, 3))
+	}
+}
+
+func TestConversions(t *testing.T) {
+	b := NewBuilder("conv")
+	b.IMovI(0, -7)
+	b.IToF(0, 0)
+	b.FMovI(1, 3.9)
+	b.FToI(1, 1)
+	b.FMovI(2, math.NaN())
+	b.FToI(2, 2)
+	b.Halt()
+	m := NewMachine(4)
+	run(t, m, CPU, b.MustBuild())
+	if got := m.Float(CPU, 0); got != -7 {
+		t.Errorf("ITOF = %v", got)
+	}
+	if got := m.Int(CPU, 1); got != 3 {
+		t.Errorf("FTOI = %v (truncation expected)", got)
+	}
+	if got := m.Int(CPU, 2); got != 0 {
+		t.Errorf("FTOI(NaN) = %v, want 0 (saturating)", got)
+	}
+}
+
+func TestMemoryLoadStore(t *testing.T) {
+	b := NewBuilder("mem")
+	b.IMovI(0, 10)
+	b.FMovI(0, 42.5)
+	b.St(0, 2, 0) // mem[12] = 42.5
+	b.Ld(1, 0, 2) // f1 = mem[12]
+	b.Halt()
+	m := NewMachine(32)
+	run(t, m, CPU, b.MustBuild())
+	if m.Mem()[12] != 42.5 {
+		t.Errorf("mem[12] = %v", m.Mem()[12])
+	}
+	if m.Float(CPU, 1) != 42.5 {
+		t.Errorf("loaded = %v", m.Float(CPU, 1))
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	// Sum mem[0..9] into f0 using a counted loop.
+	b := NewBuilder("loop")
+	b.FMovI(0, 0)
+	b.IMovI(0, 0)  // i
+	b.IMovI(1, 10) // n
+	top := b.NewLabel()
+	done := b.NewLabel()
+	b.Bind(top)
+	b.ICmpLt(2, 0, 1)
+	b.Beqz(2, done)
+	b.Ld(1, 0, 0)
+	b.FAdd(0, 0, 1)
+	b.IAddI(0, 0, 1)
+	b.Jmp(top)
+	b.Bind(done)
+	b.Halt()
+	m := NewMachine(16)
+	for i := 0; i < 10; i++ {
+		m.Mem()[i] = float64(i + 1)
+	}
+	run(t, m, GPU, b.MustBuild())
+	if got := m.Float(GPU, 0); got != 55 {
+		t.Errorf("loop sum = %v, want 55", got)
+	}
+}
+
+func TestStatePersistsAcrossRuns(t *testing.T) {
+	b := NewBuilder("inc")
+	b.FMovI(1, 1)
+	b.FAdd(0, 0, 1) // f0 += 1
+	b.Halt()
+	p := b.MustBuild()
+	m := NewMachine(4)
+	for i := 0; i < 5; i++ {
+		run(t, m, GPU, p)
+	}
+	if got := m.Float(GPU, 0); got != 5 {
+		t.Errorf("accumulated f0 = %v, want 5 (state must persist)", got)
+	}
+}
+
+func TestTrapOOBLoad(t *testing.T) {
+	b := NewBuilder("oob")
+	b.IMovI(0, 1000)
+	b.Ld(0, 0, 0)
+	b.Halt()
+	m := NewMachine(16)
+	err := m.Run(CPU, b.MustBuild(), budget)
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Kind != TrapOOB {
+		t.Fatalf("err = %v, want OOB trap", err)
+	}
+	if trap.Device != CPU {
+		t.Errorf("trap device = %v", trap.Device)
+	}
+}
+
+func TestTrapOOBNegativeStore(t *testing.T) {
+	b := NewBuilder("oobneg")
+	b.IMovI(0, -1)
+	b.St(0, 0, 0)
+	b.Halt()
+	m := NewMachine(16)
+	err := m.Run(CPU, b.MustBuild(), budget)
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Kind != TrapOOB {
+		t.Fatalf("err = %v, want OOB trap", err)
+	}
+}
+
+func TestTrapHangOnInfiniteLoop(t *testing.T) {
+	b := NewBuilder("spin")
+	top := b.NewLabel()
+	b.Bind(top)
+	b.Jmp(top)
+	m := NewMachine(4)
+	err := m.Run(CPU, b.MustBuild(), 1000)
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Kind != TrapStepBudget {
+		t.Fatalf("err = %v, want hang trap", err)
+	}
+}
+
+func TestTrapRunOffEnd(t *testing.T) {
+	// A program without HALT runs off the end: invalid PC.
+	b := NewBuilder("noend")
+	b.FMovI(0, 1)
+	m := NewMachine(4)
+	err := m.Run(CPU, b.MustBuild(), budget)
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Kind != TrapInvalidPC {
+		t.Fatalf("err = %v, want invalid-pc trap", err)
+	}
+}
+
+func TestTrapErrorString(t *testing.T) {
+	trap := &Trap{Kind: TrapOOB, Device: GPU, Program: "p", PC: 3}
+	if trap.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestInstrCountAccumulates(t *testing.T) {
+	b := NewBuilder("count")
+	b.FMovI(0, 1)
+	b.FMovI(1, 2)
+	b.Halt()
+	p := b.MustBuild()
+	m := NewMachine(4)
+	run(t, m, GPU, p)
+	if got := m.InstrCount(GPU); got != 3 {
+		t.Errorf("count = %d, want 3", got)
+	}
+	run(t, m, GPU, p)
+	if got := m.InstrCount(GPU); got != 6 {
+		t.Errorf("count = %d, want 6 (cumulative)", got)
+	}
+	if got := m.InstrCount(CPU); got != 0 {
+		t.Errorf("CPU count = %d, want 0 (per-device)", got)
+	}
+	m.ResetCounts()
+	if m.InstrCount(GPU) != 0 {
+		t.Error("ResetCounts did not clear")
+	}
+}
+
+func TestFaultHookFloat(t *testing.T) {
+	b := NewBuilder("fh")
+	b.FMovI(0, 1.0)
+	b.Halt()
+	m := NewMachine(4)
+	m.SetFaultHook(func(ev WriteEvent) uint64 {
+		if ev.Op == FMOVI && ev.Kind == DestFloat && ev.Index == 0 {
+			return 1 << 62 // flip a high exponent bit
+		}
+		return 0
+	})
+	run(t, m, GPU, b.MustBuild())
+	got := m.Float(GPU, 0)
+	want := math.Float64frombits(math.Float64bits(1.0) ^ (1 << 62))
+	if got != want {
+		t.Errorf("corrupted f0 = %v, want %v", got, want)
+	}
+}
+
+func TestFaultHookInt(t *testing.T) {
+	b := NewBuilder("fhi")
+	b.IMovI(0, 8)
+	b.Halt()
+	m := NewMachine(4)
+	m.SetFaultHook(func(ev WriteEvent) uint64 {
+		if ev.Kind == DestInt {
+			return 1
+		}
+		return 0
+	})
+	run(t, m, CPU, b.MustBuild())
+	if got := m.Int(CPU, 0); got != 9 {
+		t.Errorf("corrupted r0 = %v, want 9", got)
+	}
+}
+
+func TestFaultHookMemory(t *testing.T) {
+	b := NewBuilder("fhm")
+	b.IMovI(0, 3)
+	b.FMovI(0, 0) // bits(0.0) = 0
+	b.St(0, 0, 0)
+	b.Halt()
+	m := NewMachine(8)
+	m.SetFaultHook(func(ev WriteEvent) uint64 {
+		if ev.Kind == DestMem && ev.Index == 3 {
+			return math.Float64bits(1.0)
+		}
+		return 0
+	})
+	run(t, m, CPU, b.MustBuild())
+	if got := m.Mem()[3]; got != 1.0 {
+		t.Errorf("corrupted mem[3] = %v, want 1.0", got)
+	}
+}
+
+func TestFaultHookDynIndexTargetsOneInstr(t *testing.T) {
+	b := NewBuilder("dyn")
+	b.FMovI(0, 1)
+	b.FMovI(1, 1)
+	b.FMovI(2, 1)
+	b.Halt()
+	m := NewMachine(4)
+	var hits int
+	m.SetFaultHook(func(ev WriteEvent) uint64 {
+		if ev.DynIndex == 2 { // the second dynamic instruction
+			hits++
+			return 1 << 52
+		}
+		return 0
+	})
+	run(t, m, GPU, b.MustBuild())
+	if hits != 1 {
+		t.Errorf("hook fired %d times, want 1", hits)
+	}
+	if m.Float(GPU, 0) != 1 || m.Float(GPU, 2) != 1 {
+		t.Error("wrong instructions corrupted")
+	}
+	if m.Float(GPU, 1) == 1 {
+		t.Error("target instruction not corrupted")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("bad")
+	b.FAdd(999, 0, 0)
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Error("out-of-range register accepted")
+	}
+
+	b2 := NewBuilder("unbound")
+	l := b2.NewLabel()
+	b2.Jmp(l)
+	b2.Halt()
+	if _, err := b2.Build(); err == nil {
+		t.Error("unbound label accepted")
+	}
+
+	b3 := NewBuilder("doublebind")
+	l3 := b3.NewLabel()
+	b3.Bind(l3)
+	b3.Halt()
+	b3.Bind(l3)
+	if _, err := b3.Build(); err == nil {
+		t.Error("double-bound label accepted")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic on invalid program")
+		}
+	}()
+	b := NewBuilder("bad")
+	b.IAdd(100, 0, 0)
+	b.MustBuild()
+}
+
+func TestOpcodeDestKinds(t *testing.T) {
+	cases := map[Opcode]DestKind{
+		FADD: DestFloat, LD: DestFloat, FSEL: DestFloat, ITOF: DestFloat,
+		IADD: DestInt, FTOI: DestInt, FCMPLT: DestInt,
+		ST:  DestMem,
+		JMP: DestNone, BEQZ: DestNone, HALT: DestNone,
+	}
+	for op, want := range cases {
+		if got := op.Dest(); got != want {
+			t.Errorf("%s.Dest() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	for op := 0; op < NumOpcodes; op++ {
+		s := Opcode(op).String()
+		if s == "" || s[0] == 'O' && s[1] == 'P' {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	b := NewBuilder("dis")
+	b.FMovI(1, 2.5)
+	b.IMovI(2, 7)
+	b.Ld(3, 1, 10)
+	b.St(1, 10, 3)
+	b.FMA(1, 2, 3, 4)
+	b.Halt()
+	p := b.MustBuild()
+	for _, in := range p.Code {
+		if in.String() == "" {
+			t.Errorf("empty disassembly for %v", in.Op)
+		}
+	}
+}
+
+func TestDivByZeroDoesNotTrap(t *testing.T) {
+	b := NewBuilder("div0")
+	b.FMovI(0, 1)
+	b.FMovI(1, 0)
+	b.FDiv(2, 0, 1)
+	b.Halt()
+	m := NewMachine(4)
+	run(t, m, GPU, b.MustBuild())
+	if !math.IsInf(m.Float(GPU, 2), 1) {
+		t.Errorf("1/0 = %v, want +Inf", m.Float(GPU, 2))
+	}
+}
+
+func BenchmarkInterpreterALU(b *testing.B) {
+	bu := NewBuilder("bench")
+	bu.FMovI(0, 1.0001)
+	bu.FMovI(1, 0.5)
+	bu.IMovI(0, 0)
+	bu.IMovI(1, 1000)
+	top := bu.NewLabel()
+	done := bu.NewLabel()
+	bu.Bind(top)
+	bu.ICmpLt(2, 0, 1)
+	bu.Beqz(2, done)
+	bu.FMA(2, 0, 1, 2)
+	bu.FMul(3, 2, 0)
+	bu.IAddI(0, 0, 1)
+	bu.Jmp(top)
+	bu.Bind(done)
+	bu.Halt()
+	p := bu.MustBuild()
+	m := NewMachine(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Run(GPU, p, 1<<30); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(m.InstrCount(GPU))/float64(b.Elapsed().Seconds())/1e6, "Minstr/s")
+}

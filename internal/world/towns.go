@@ -1,0 +1,164 @@
+package world
+
+import (
+	"math"
+
+	"diverseav/internal/geom"
+)
+
+// Step used when sampling road geometry into polylines.
+const sampleStep = 2.0
+
+// TestTrack returns the map used by the safety-critical scenarios: a long
+// straight two-lane road (ego lane plus one adjacent lane to its left),
+// matching the paper's NHTSA pre-crash setups which all play out on a
+// straight segment.
+func TestTrack() *Town {
+	t := &Town{Name: "TestTrack", Lanes: map[string]*Lane{}, Routes: map[string]*Route{}}
+	var ego []geom.Vec2
+	ego, _ = geom.Straight(append(ego, geom.V2(0, 0)), geom.V2(0, 0), 0, 900, sampleStep)
+	t.addLane("ego", ego)
+	t.addLane("left", offsetPath(ego, LaneWidth))
+	t.Routes["main"] = &Route{
+		Name:   "main",
+		Path:   t.Lanes["ego"].Center,
+		LaneID: "ego",
+		SpeedLimits: []SpeedLimit{
+			{Station: 0, Limit: 12.0},
+		},
+	}
+	return t
+}
+
+// Town01 is the urban analogue of CARLA Town01: a rectangular circuit of
+// city blocks with 90° turns and signalized intersections. Route02 runs
+// one full circuit.
+func Town01() *Town {
+	t := &Town{Name: "Town01", Lanes: map[string]*Lane{}, Routes: map[string]*Route{}}
+	pts := []geom.Vec2{geom.V2(0, 0)}
+	cur, yaw := geom.V2(0, 0), 0.0
+	leg := func(length float64) {
+		pts, cur = geom.Straight(pts, cur, yaw, length, sampleStep)
+	}
+	turn := func(sweep float64) {
+		pts, cur, yaw = geom.Arc(pts, cur, yaw, 12, sweep, sampleStep)
+	}
+	// A city circuit: four blocks with intermediate intersections.
+	leg(220)
+	turn(math.Pi / 2)
+	leg(160)
+	turn(math.Pi / 2)
+	leg(100)
+	turn(-math.Pi / 2)
+	leg(120)
+	turn(math.Pi / 2)
+	leg(240)
+	turn(math.Pi / 2)
+	leg(180)
+	turn(math.Pi / 2)
+	leg(140)
+	lane := t.addLane("r02", pts)
+	t.addLane("r02-left", offsetPath(pts, LaneWidth))
+	t.Lights = []TrafficLight{
+		{LaneID: "r02", Station: 200, GreenSec: 20, YellowSec: 3, RedSec: 12, PhaseSec: 0},
+		{LaneID: "r02", Station: 480, GreenSec: 18, YellowSec: 3, RedSec: 14, PhaseSec: 9},
+		{LaneID: "r02", Station: 850, GreenSec: 22, YellowSec: 3, RedSec: 10, PhaseSec: 17},
+	}
+	t.Routes["Route02"] = &Route{
+		Name:   "Route02",
+		Path:   lane.Center,
+		LaneID: "r02",
+		SpeedLimits: []SpeedLimit{
+			{Station: 0, Limit: 9.0},
+			{Station: 400, Limit: 12.0},
+			{Station: 700, Limit: 8.0},
+			{Station: 950, Limit: 11.0},
+		},
+	}
+	return t
+}
+
+// Town03 is the mixed urban analogue of CARLA Town03: longer blocks,
+// sweeping curves and a short expressway section. Route15 traverses it.
+func Town03() *Town {
+	t := &Town{Name: "Town03", Lanes: map[string]*Lane{}, Routes: map[string]*Route{}}
+	pts := []geom.Vec2{geom.V2(0, 0)}
+	cur, yaw := geom.V2(0, 0), 0.0
+	leg := func(length float64) { pts, cur = geom.Straight(pts, cur, yaw, length, sampleStep) }
+	turn := func(r, sweep float64) { pts, cur, yaw = geom.Arc(pts, cur, yaw, r, sweep, sampleStep) }
+	leg(180)
+	turn(30, math.Pi/3)
+	leg(250)
+	turn(18, -math.Pi/2)
+	leg(120)
+	turn(40, math.Pi/4)
+	leg(380) // expressway stretch
+	turn(25, math.Pi/2)
+	leg(160)
+	turn(15, math.Pi/2)
+	leg(200)
+	lane := t.addLane("r15", pts)
+	t.addLane("r15-left", offsetPath(pts, LaneWidth))
+	t.Lights = []TrafficLight{
+		{LaneID: "r15", Station: 170, GreenSec: 25, YellowSec: 3, RedSec: 10, PhaseSec: 5},
+		{LaneID: "r15", Station: 620, GreenSec: 20, YellowSec: 3, RedSec: 15, PhaseSec: 21},
+	}
+	t.Routes["Route15"] = &Route{
+		Name:   "Route15",
+		Path:   lane.Center,
+		LaneID: "r15",
+		SpeedLimits: []SpeedLimit{
+			{Station: 0, Limit: 10.0},
+			{Station: 560, Limit: 16.0}, // expressway
+			{Station: 980, Limit: 9.0},
+		},
+	}
+	return t
+}
+
+// Town06 is the highway analogue of CARLA Town06: long straights with
+// gentle curves and high speed limits. Route42 traverses it.
+func Town06() *Town {
+	t := &Town{Name: "Town06", Lanes: map[string]*Lane{}, Routes: map[string]*Route{}}
+	pts := []geom.Vec2{geom.V2(0, 0)}
+	cur, yaw := geom.V2(0, 0), 0.0
+	leg := func(length float64) { pts, cur = geom.Straight(pts, cur, yaw, length, sampleStep) }
+	turn := func(r, sweep float64) { pts, cur, yaw = geom.Arc(pts, cur, yaw, r, sweep, sampleStep) }
+	leg(500)
+	turn(120, math.Pi/6)
+	leg(400)
+	turn(150, -math.Pi/5)
+	leg(450)
+	turn(90, math.Pi/8)
+	leg(350)
+	lane := t.addLane("r42", pts)
+	t.addLane("r42-left", offsetPath(pts, LaneWidth))
+	t.Routes["Route42"] = &Route{
+		Name:   "Route42",
+		Path:   lane.Center,
+		LaneID: "r42",
+		SpeedLimits: []SpeedLimit{
+			{Station: 0, Limit: 14.0},
+			{Station: 500, Limit: 18.0},
+			{Station: 1500, Limit: 15.0},
+		},
+	}
+	return t
+}
+
+// LongRoutes enumerates the three training routes as (town, route) pairs,
+// the analogues of the paper's Town01-Route02, Town03-Route15 and
+// Town06-Route42.
+func LongRoutes() []struct {
+	Town  *Town
+	Route string
+} {
+	return []struct {
+		Town  *Town
+		Route string
+	}{
+		{Town01(), "Route02"},
+		{Town03(), "Route15"},
+		{Town06(), "Route42"},
+	}
+}

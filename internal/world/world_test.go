@@ -1,0 +1,200 @@
+package world
+
+import (
+	"math"
+	"testing"
+
+	"diverseav/internal/geom"
+)
+
+func TestTrafficLightCycle(t *testing.T) {
+	tl := TrafficLight{GreenSec: 10, YellowSec: 2, RedSec: 8}
+	cases := []struct {
+		t    float64
+		want LightState
+	}{
+		{0, Green}, {9.9, Green}, {10.5, Yellow}, {12.5, Red}, {19.9, Red},
+		{20, Green},   // wraps
+		{40.5, Green}, // two cycles
+	}
+	for _, c := range cases {
+		if got := tl.StateAt(c.t); got != c.want {
+			t.Errorf("StateAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestTrafficLightPhaseOffset(t *testing.T) {
+	tl := TrafficLight{GreenSec: 10, YellowSec: 2, RedSec: 8, PhaseSec: 11}
+	if got := tl.StateAt(0); got != Yellow {
+		t.Errorf("phase-shifted state at 0 = %v, want yellow", got)
+	}
+}
+
+func TestTrafficLightNegativeTime(t *testing.T) {
+	tl := TrafficLight{GreenSec: 10, YellowSec: 2, RedSec: 8}
+	// Negative effective phase must still land in a valid state.
+	got := tl.StateAt(-3)
+	if got != Green && got != Yellow && got != Red {
+		t.Errorf("invalid state %v", got)
+	}
+	// -3 mod 20 = 17 → red.
+	if got != Red {
+		t.Errorf("StateAt(-3) = %v, want red", got)
+	}
+}
+
+func TestTrafficLightZeroCycle(t *testing.T) {
+	tl := TrafficLight{}
+	if got := tl.StateAt(5); got != Green {
+		t.Errorf("zero-cycle light = %v, want green", got)
+	}
+}
+
+func TestLightStateString(t *testing.T) {
+	if Green.String() != "green" || Yellow.String() != "yellow" || Red.String() != "red" {
+		t.Error("light state names wrong")
+	}
+}
+
+func TestNextLight(t *testing.T) {
+	town := Town01()
+	light, ok := town.NextLight("r02", 0)
+	if !ok {
+		t.Fatal("no light found")
+	}
+	if light.Station != 200 {
+		t.Errorf("nearest light at %v, want 200", light.Station)
+	}
+	light, ok = town.NextLight("r02", 300)
+	if !ok || light.Station != 480 {
+		t.Errorf("next light from 300 = %v", light)
+	}
+	if _, ok := town.NextLight("r02", 900); ok {
+		t.Error("light found past the last one")
+	}
+	if _, ok := town.NextLight("nope", 0); ok {
+		t.Error("light found on unknown lane")
+	}
+}
+
+func TestRouteLimitAt(t *testing.T) {
+	town := Town01()
+	r, err := town.Route("Route02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.LimitAt(0); got != 9.0 {
+		t.Errorf("limit at 0 = %v", got)
+	}
+	if got := r.LimitAt(500); got != 12.0 {
+		t.Errorf("limit at 500 = %v", got)
+	}
+	if got := r.LimitAt(10_000); got != 11.0 {
+		t.Errorf("limit past end = %v (last breakpoint applies)", got)
+	}
+}
+
+func TestRouteLimitDefault(t *testing.T) {
+	r := &Route{}
+	if got := r.LimitAt(50); got != 13.9 {
+		t.Errorf("default limit = %v", got)
+	}
+}
+
+func TestRouteUnknown(t *testing.T) {
+	town := Town01()
+	if _, err := town.Route("nope"); err == nil {
+		t.Error("unknown route accepted")
+	}
+}
+
+func TestAllTownsWellFormed(t *testing.T) {
+	towns := []*Town{TestTrack(), Town01(), Town03(), Town06()}
+	for _, town := range towns {
+		if len(town.Lanes) < 2 {
+			t.Errorf("%s: expected at least ego + left lanes", town.Name)
+		}
+		for id, lane := range town.Lanes {
+			if lane.Length() < 100 {
+				t.Errorf("%s/%s: suspiciously short lane (%.1fm)", town.Name, id, lane.Length())
+			}
+			if lane.Width != LaneWidth {
+				t.Errorf("%s/%s: width %v", town.Name, id, lane.Width)
+			}
+		}
+		for name, r := range town.Routes {
+			if r.Path.Length() < 100 {
+				t.Errorf("%s/%s: short route", town.Name, name)
+			}
+			// Lights must reference existing lanes and stations within
+			// the lane.
+			for _, tl := range town.Lights {
+				lane, ok := town.Lane(tl.LaneID)
+				if !ok {
+					t.Errorf("%s: light on unknown lane %s", town.Name, tl.LaneID)
+					continue
+				}
+				if tl.Station < 0 || tl.Station > lane.Length() {
+					t.Errorf("%s: light station %v outside lane", town.Name, tl.Station)
+				}
+			}
+		}
+	}
+}
+
+func TestLongRoutes(t *testing.T) {
+	routes := LongRoutes()
+	if len(routes) != 3 {
+		t.Fatalf("long routes = %d, want 3", len(routes))
+	}
+	for _, lr := range routes {
+		if _, err := lr.Town.Route(lr.Route); err != nil {
+			t.Errorf("%s: %v", lr.Town.Name, err)
+		}
+	}
+}
+
+func TestOffsetLaneParallel(t *testing.T) {
+	town := TestTrack()
+	ego, _ := town.Lane("ego")
+	left, _ := town.Lane("left")
+	// Sample along the lanes: the left lane should stay one lane width
+	// away from the ego lane.
+	for s := 0.0; s < ego.Length(); s += 50 {
+		p := ego.Center.At(s)
+		_, lat := left.Center.Project(p)
+		if math.Abs(math.Abs(lat)-LaneWidth) > 0.1 {
+			t.Errorf("lane separation at s=%v: %v", s, lat)
+		}
+	}
+}
+
+func TestLanePoseAt(t *testing.T) {
+	town := TestTrack()
+	lane, _ := town.Lane("ego")
+	p := lane.PoseAt(100)
+	if math.Abs(p.Pos.X-100) > 1e-6 || math.Abs(p.Pos.Y) > 1e-6 {
+		t.Errorf("pose at 100 = %v", p.Pos)
+	}
+	if math.Abs(p.Yaw) > 1e-9 {
+		t.Errorf("yaw = %v on straight track", p.Yaw)
+	}
+}
+
+func TestTown01RouteIsTraversable(t *testing.T) {
+	town := Town01()
+	r, _ := town.Route("Route02")
+	// Heading must change smoothly: no step larger than ~0.5 rad between
+	// adjacent samples (a discontinuity would break lane following).
+	prev := math.Inf(1)
+	for s := 0.0; s < r.Path.Length(); s += 2 {
+		_, yaw := r.Path.PoseAt(s)
+		if prev != math.Inf(1) {
+			if d := math.Abs(geom.AngleDiff(yaw, prev)); d > 0.5 {
+				t.Fatalf("heading discontinuity %.2f rad at s=%v", d, s)
+			}
+		}
+		prev = yaw
+	}
+}
