@@ -1,0 +1,215 @@
+// Command bench measures the closed-loop hot path and writes the
+// results as BENCH_<date>.json, so performance regressions show up as a
+// diff. It benchmarks the layers the perf work targets: the full
+// simulation step (render + agents + physics + trace), a single camera
+// rasterization, and the route-projection primitives.
+//
+// Usage:
+//
+//	go run ./cmd/bench [-o BENCH_2006-01-02.json] [-benchtime 3x]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"diverseav/internal/geom"
+	"diverseav/internal/scenario"
+	"diverseav/internal/sensor"
+	"diverseav/internal/sim"
+)
+
+// Entry is one benchmark's record in the output file.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// StepsPerSec is set for full-simulation benchmarks only.
+	StepsPerSec float64 `json:"steps_per_sec,omitempty"`
+}
+
+// Report is the full output file.
+type Report struct {
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Entries    []Entry `json:"entries"`
+}
+
+func benchSimRun(mode sim.Mode, serial bool) (func(b *testing.B), int) {
+	cfg := sim.Config{Scenario: scenario.LeadSlowdown(), Mode: mode, Seed: 3, SerialRender: serial}
+	steps := len(sim.Run(cfg).Trace.Steps)
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sim.Run(cfg)
+		}
+	}, steps
+}
+
+// benchScene builds a representative render scene: curved route, two
+// obstacles, one stop bar, nominal sensor noise.
+func benchScene() *sensor.Scene {
+	pts := make([]geom.Vec2, 0, 128)
+	for i := 0; i < 128; i++ {
+		s := float64(i) * 2
+		pts = append(pts, geom.Vec2{X: s, Y: 8 * math.Sin(s/40)})
+	}
+	route, err := geom.NewPolyline(pts)
+	if err != nil {
+		panic(err)
+	}
+	st, _ := route.Project(geom.Vec2{X: 30, Y: 0})
+	pos := route.At(st)
+	_, yaw := route.PoseAt(st)
+	return &sensor.Scene{
+		EgoPose:           geom.Pose{Pos: pos, Yaw: yaw},
+		Route:             route,
+		RouteStation:      st,
+		RouteCenterOffset: 1.75,
+		RoadHalfWidth:     3.5,
+		LaneMarkOffsets:   []float64{-3.5, 0, 3.5},
+		Obstacles: []sensor.RenderObstacle{
+			{Pose: geom.Pose{Pos: route.At(st + 18)}, HalfL: 2.2, HalfW: 0.9, Braking: true},
+			{Pose: geom.Pose{Pos: route.At(st + 35)}, HalfL: 2.2, HalfW: 0.9},
+		},
+		StopBars:  []sensor.StopBar{{Dist: 45}},
+		Step:      7,
+		NoiseSeed: 11,
+		NoiseStd:  2.0,
+	}
+}
+
+func benchRender(b *testing.B) {
+	sc := benchScene()
+	frame := sensor.NewFrame()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sensor.Render(sensor.CamCenter, sc, frame)
+	}
+}
+
+func projectLine() *geom.Polyline {
+	pts := make([]geom.Vec2, 0, 512)
+	for i := 0; i < 512; i++ {
+		s := float64(i) * 1.5
+		pts = append(pts, geom.Vec2{X: s, Y: 10 * math.Cos(s/60)})
+	}
+	p, err := geom.NewPolyline(pts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// benchProject measures the O(n) full-scan projection a vehicle
+// controller would otherwise call every step.
+func benchProject(b *testing.B) {
+	p := projectLine()
+	q := geom.Vec2{X: 400, Y: 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Project(q)
+	}
+}
+
+// benchProjectNear measures the windowed projection used by the hot
+// loop, walking the query point like a vehicle does.
+func benchProjectNear(b *testing.B) {
+	p := projectLine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	hint := 0.0
+	for i := 0; i < b.N; i++ {
+		q := p.At(hint).Add(geom.Vec2{Y: 1.2})
+		hint, _ = p.ProjectNear(q, hint, 40)
+		hint += 0.4
+		if hint > p.Length()-1 {
+			hint = 0
+		}
+	}
+}
+
+func main() {
+	testing.Init() // register -test.* so testing.Benchmark works under `go run`
+	out := flag.String("o", "", "output path (default BENCH_<date>.json)")
+	benchtime := flag.String("benchtime", "", "benchtime for the benchmarks, e.g. 3x (default: testing's 1s)")
+	flag.Parse()
+	if *benchtime != "" {
+		// testing.Benchmark honors the -test.benchtime flag.
+		if err := flag.CommandLine.Set("test.benchtime", *benchtime); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtime:", err)
+			os.Exit(2)
+		}
+	}
+
+	date := time.Now().Format("2006-01-02")
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", date)
+	}
+
+	rep := Report{
+		Date:       date,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	add := func(name string, r testing.BenchmarkResult, steps int) {
+		e := Entry{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if steps > 0 {
+			e.StepsPerSec = float64(steps) * float64(r.N) / r.T.Seconds()
+		}
+		rep.Entries = append(rep.Entries, e)
+		if steps > 0 {
+			fmt.Printf("%-28s %12.0f ns/op %10.0f steps/s %8d allocs/op %10d B/op\n",
+				name, e.NsPerOp, e.StepsPerSec, e.AllocsPerOp, e.BytesPerOp)
+		} else {
+			fmt.Printf("%-28s %12.0f ns/op %8d allocs/op %10d B/op\n",
+				name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+		}
+	}
+
+	fmt.Printf("diverseav bench: %s, GOMAXPROCS=%d\n", rep.GoVersion, rep.GOMAXPROCS)
+
+	fn, steps := benchSimRun(sim.RoundRobin, false)
+	add("sim-run/roundrobin", testing.Benchmark(fn), steps)
+	fn, steps = benchSimRun(sim.RoundRobin, true)
+	add("sim-run/roundrobin-serial", testing.Benchmark(fn), steps)
+	fn, steps = benchSimRun(sim.Duplicate, false)
+	add("sim-run/duplicate", testing.Benchmark(fn), steps)
+	add("render/center-camera", testing.Benchmark(benchRender), 0)
+	add("geom/project-full", testing.Benchmark(benchProject), 0)
+	add("geom/project-near", testing.Benchmark(benchProjectNear), 0)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
+}

@@ -2,6 +2,7 @@ package agent
 
 import (
 	"fmt"
+	"sync"
 
 	"diverseav/internal/physics"
 	"diverseav/internal/sensor"
@@ -54,15 +55,33 @@ type Agent struct {
 	gpu    *vm.Program
 }
 
+// Compiled programs are immutable once built (the VM only reads Code),
+// so every agent of every run shares one compiled copy instead of
+// re-assembling ~2k instructions per agent per sim.Run. Agent state
+// diversity lives entirely in each agent's private Machine memory.
+var (
+	compileOnce  sync.Once
+	sharedCPUIn  *vm.Program
+	sharedCPUOut *vm.Program
+	sharedGPU    *vm.Program
+)
+
+func compiledPrograms() (cpuIn, cpuOut, gpu *vm.Program) {
+	compileOnce.Do(func() {
+		sharedCPUIn = BuildCPUIn()
+		sharedCPUOut = BuildCPUOut()
+		sharedGPU = BuildGPU()
+	})
+	return sharedCPUIn, sharedCPUOut, sharedGPU
+}
+
 // New creates an agent with freshly initialized fabric memory and LUTs.
 func New(name string) *Agent {
 	a := &Agent{
-		Name:   name,
-		mach:   vm.NewMachine(MemWords),
-		cpuIn:  BuildCPUIn(),
-		cpuOut: BuildCPUOut(),
-		gpu:    BuildGPU(),
+		Name: name,
+		mach: vm.NewMachine(MemWords),
 	}
+	a.cpuIn, a.cpuOut, a.gpu = compiledPrograms()
 	a.initMemory()
 	return a
 }

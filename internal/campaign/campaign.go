@@ -6,12 +6,10 @@
 package campaign
 
 import (
-	"runtime"
-	"sync"
-
 	"diverseav/internal/core"
 	"diverseav/internal/fi"
 	"diverseav/internal/geom"
+	"diverseav/internal/par"
 	"diverseav/internal/rng"
 	"diverseav/internal/scenario"
 	"diverseav/internal/sim"
@@ -72,55 +70,17 @@ type Campaign struct {
 	Baseline []geom.Vec2
 }
 
-// job abstracts the parallel runner's work unit.
-type job func()
-
-// runParallel executes jobs on GOMAXPROCS workers.
-func runParallel(jobs []job) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers <= 1 {
-		for _, j := range jobs {
-			j()
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	ch := make(chan job)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range ch {
-				j()
-			}
-		}()
-	}
-	for _, j := range jobs {
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
-}
-
 // Golden runs n fault-free experiments of the scenario in the given
 // mode, with distinct seeds derived from seedBase.
 func Golden(sc *scenario.Scenario, mode sim.Mode, n int, seedBase uint64) []*sim.Result {
 	out := make([]*sim.Result, n)
-	jobs := make([]job, n)
-	for i := 0; i < n; i++ {
-		i := i
-		jobs[i] = func() {
-			out[i] = sim.Run(sim.Config{
-				Scenario: sc,
-				Mode:     mode,
-				Seed:     seedBase + uint64(i)*7919,
-			})
-		}
-	}
-	runParallel(jobs)
+	par.ForEach(n, func(i int) {
+		out[i] = sim.Run(sim.Config{
+			Scenario: sc,
+			Mode:     mode,
+			Seed:     seedBase + uint64(i)*7919,
+		})
+	})
 	return out
 }
 
@@ -176,22 +136,17 @@ func RunWithGolden(sc *scenario.Scenario, mode sim.Mode, target vm.Device, model
 	for i := range faultAgents {
 		faultAgents[i] = agentPick.Intn(2)
 	}
-	jobs := make([]job, len(plans))
-	for i := range plans {
-		i := i
-		jobs[i] = func() {
-			plan := plans[i]
-			res := sim.Run(sim.Config{
-				Scenario:   sc,
-				Mode:       mode,
-				Seed:       seedBase + 5000 + uint64(i)*104729,
-				Fault:      &plan,
-				FaultAgent: faultAgents[i],
-			})
-			c.Runs[i] = RunRecord{Plan: plan, Result: res}
-		}
-	}
-	runParallel(jobs)
+	par.ForEach(len(plans), func(i int) {
+		plan := plans[i]
+		res := sim.Run(sim.Config{
+			Scenario:   sc,
+			Mode:       mode,
+			Seed:       seedBase + 5000 + uint64(i)*104729,
+			Fault:      &plan,
+			FaultAgent: faultAgents[i],
+		})
+		c.Runs[i] = RunRecord{Plan: plan, Result: res}
+	})
 
 	goldenTraces := make([]*trace.Trace, 0, len(c.Golden))
 	for _, g := range c.Golden {
@@ -342,25 +297,22 @@ func MissedHazards(det *core.Detector, mode core.CompareMode, camps []*Campaign,
 // scenarios or on faulty runs).
 func TrainDetector(cfg core.Config, mode sim.Mode, cmp core.CompareMode, perRoute int, seedBase uint64) *core.Detector {
 	det := core.NewDetector(cfg, cmp)
-	var traces []*trace.Trace
-	var mu sync.Mutex
-	var jobs []job
-	for ri, sc := range scenario.TrainingRoutes() {
-		for k := 0; k < perRoute; k++ {
-			sc, ri, k := sc, ri, k
-			jobs = append(jobs, func() {
-				res := sim.Run(sim.Config{
-					Scenario: sc,
-					Mode:     mode,
-					Seed:     seedBase + uint64(ri*100+k)*6151,
-				})
-				mu.Lock()
-				traces = append(traces, res.Trace)
-				mu.Unlock()
-			})
-		}
-	}
-	runParallel(jobs)
+	routes := scenario.TrainingRoutes()
+	// Index-addressed results: every worker writes its own slot, so the
+	// training-trace order (and therefore the trained thresholds) is
+	// identical for any GOMAXPROCS and across repeated runs. The previous
+	// implementation appended under a mutex, which ordered traces by
+	// worker completion time.
+	traces := make([]*trace.Trace, len(routes)*perRoute)
+	par.ForEach(len(traces), func(idx int) {
+		ri, k := idx/perRoute, idx%perRoute
+		res := sim.Run(sim.Config{
+			Scenario: routes[ri],
+			Mode:     mode,
+			Seed:     seedBase + uint64(ri*100+k)*6151,
+		})
+		traces[idx] = res.Trace
+	})
 	det.Train(traces, cmp)
 	return det
 }

@@ -1,0 +1,102 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// wigglyLine builds a long multi-segment path (straight, left arc,
+// straight, right arc) representative of the town routes.
+func wigglyLine(t *testing.T) *Polyline {
+	t.Helper()
+	pts, end := Straight(nil, V2(0, 0), 0, 120, 2)
+	pts, end, yaw := Arc(pts, end, 0, 40, math.Pi/2, 1.5)
+	pts, end = Straight(pts, end, yaw, 80, 2)
+	pts, _, _ = Arc(pts, end, yaw, 30, -math.Pi/3, 1.5)
+	return line(t, pts...)
+}
+
+func TestCursorMatchesPoseAt(t *testing.T) {
+	pl := wigglyLine(t)
+	cur := pl.NewCursor()
+	// Sweep forward, backward, with small jitter and occasional large
+	// jumps — the access pattern of the rasterizer and the followers.
+	stations := []float64{0, 0.5, 3, 2.9, 80, 79.5, 81, 200, 40, 41, 42,
+		pl.Length(), pl.Length() - 0.1, -5, pl.Length() + 5, 150.25}
+	for s := 0.0; s < pl.Length(); s += 0.37 {
+		stations = append(stations, s)
+	}
+	for _, s := range stations {
+		wantPos, wantYaw := pl.PoseAt(s)
+		gotPos, gotYaw := cur.PoseAt(s)
+		if gotPos != wantPos || gotYaw != wantYaw {
+			t.Fatalf("Cursor.PoseAt(%v) = (%v, %v), want (%v, %v)", s, gotPos, gotYaw, wantPos, wantYaw)
+		}
+		if got, want := cur.At(s), pl.At(s); got != want {
+			t.Fatalf("Cursor.At(%v) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestCursorExactBreakpoints(t *testing.T) {
+	// Stations exactly on waypoint boundaries must pick the same segment
+	// (and therefore the same tangent heading) as the binary search.
+	pl := line(t, V2(0, 0), V2(10, 0), V2(10, 10), V2(0, 10))
+	cur := pl.NewCursor()
+	for _, s := range []float64{0, 10, 20, 30} {
+		wantPos, wantYaw := pl.PoseAt(s)
+		gotPos, gotYaw := cur.PoseAt(s)
+		if gotPos != wantPos || gotYaw != wantYaw {
+			t.Errorf("at breakpoint %v: cursor (%v, %v), want (%v, %v)", s, gotPos, gotYaw, wantPos, wantYaw)
+		}
+	}
+}
+
+func TestProjectNearMatchesProject(t *testing.T) {
+	pl := wigglyLine(t)
+	// A vehicle-like walk: advance along the path with lateral wobble,
+	// projecting with the previous station as hint.
+	hint := 0.0
+	for s := 0.0; s < pl.Length(); s += 1.3 {
+		pos, yaw := pl.PoseAt(s)
+		q := pos.Add(V2(math.Cos(yaw+math.Pi/2), math.Sin(yaw+math.Pi/2)).Scale(1.8 * math.Sin(s/7)))
+		wantSt, wantLat := pl.Project(q)
+		gotSt, gotLat := pl.ProjectNear(q, hint, 40)
+		if gotSt != wantSt || gotLat != wantLat {
+			t.Fatalf("ProjectNear at s=%v = (%v, %v), want (%v, %v)", s, gotSt, gotLat, wantSt, wantLat)
+		}
+		hint = gotSt
+	}
+}
+
+func TestProjectNearStaleHintFallsBack(t *testing.T) {
+	pl := wigglyLine(t)
+	// Query near the end of the path with a hint at the start: the
+	// windowed result pins to the window edge, forcing the full scan.
+	q := pl.At(pl.Length() - 3)
+	wantSt, wantLat := pl.Project(q)
+	gotSt, gotLat := pl.ProjectNear(q, 0, 20)
+	if gotSt != wantSt || gotLat != wantLat {
+		t.Fatalf("stale hint: ProjectNear = (%v, %v), want (%v, %v)", gotSt, gotLat, wantSt, wantLat)
+	}
+}
+
+func BenchmarkPolylineProject(b *testing.B) {
+	pts, _ := Straight(nil, V2(0, 0), 0, 2000, 2)
+	pl := MustPolyline(pts)
+	q := V2(1500, 1.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl.Project(q)
+	}
+}
+
+func BenchmarkPolylineProjectNear(b *testing.B) {
+	pts, _ := Straight(nil, V2(0, 0), 0, 2000, 2)
+	pl := MustPolyline(pts)
+	q := V2(1500, 1.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl.ProjectNear(q, 1500, 40)
+	}
+}

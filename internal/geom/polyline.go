@@ -91,8 +91,13 @@ func (p *Polyline) segmentIndex(s float64) int {
 // together with the signed lateral offset (positive = q is left of the
 // line's direction of travel).
 func (p *Polyline) Project(q Vec2) (station, lateral float64) {
+	return p.projectRange(q, 0, len(p.pts)-1)
+}
+
+// projectRange is Project restricted to segments [lo, hi).
+func (p *Polyline) projectRange(q Vec2, lo, hi int) (station, lateral float64) {
 	best := math.Inf(1)
-	for i := 0; i+1 < len(p.pts); i++ {
+	for i := lo; i < hi; i++ {
 		a, b := p.pts[i], p.pts[i+1]
 		ab := b.Sub(a)
 		t := Clamp(q.Sub(a).Dot(ab)/ab.LenSq(), 0, 1)
@@ -109,6 +114,98 @@ func (p *Polyline) Project(q Vec2) (station, lateral float64) {
 		}
 	}
 	return station, lateral
+}
+
+// projectFallbackDist is how far (meters) a windowed projection may sit
+// from the line before ProjectNear distrusts the window and rescans the
+// whole polyline.
+const projectFallbackDist = 10.0
+
+// ProjectNear is Project for callers that track their station over time
+// (vehicle followers, the sim loop's ego projection): it searches only
+// the segments whose stations lie within ±window meters of hint, which
+// makes per-step projection cost independent of route length. If the
+// windowed nearest point is suspiciously far from the line (the hint was
+// stale or the vehicle teleported), it falls back to a full scan, so the
+// result matches Project whenever q is genuinely near the hinted part of
+// the line.
+func (p *Polyline) ProjectNear(q Vec2, hint, window float64) (station, lateral float64) {
+	lo := p.segmentIndex(Clamp(hint-window, 0, p.Length()))
+	hi := p.segmentIndex(Clamp(hint+window, 0, p.Length())) + 1
+	station, lateral = p.projectRange(q, lo, hi)
+	// Station comparisons use a tolerance: stations are rebuilt from
+	// t*segLen sums and may differ from cum by an ULP.
+	const eps = 1e-9
+	if lateral < -projectFallbackDist || lateral > projectFallbackDist ||
+		(station <= p.cum[lo]+eps && lo > 0) || (station >= p.cum[hi]-eps && hi < len(p.pts)-1) {
+		// Nearest point sits outside (or pinned to the edge of) the
+		// window: the true nearest segment may lie beyond it.
+		return p.projectRange(q, 0, len(p.pts)-1)
+	}
+	return station, lateral
+}
+
+// Cursor is a stateful reader of a Polyline for station queries that
+// move by small amounts between calls (a rasterizer sweeping a ground
+// row, a follower advancing along its path). It caches the last segment
+// index and reuses it, making At/PoseAt amortized O(1) instead of
+// O(log n), while returning bit-identical results to the Polyline
+// methods.
+type Cursor struct {
+	p   *Polyline
+	seg int
+}
+
+// NewCursor returns a cursor positioned at the start of the polyline.
+func (p *Polyline) NewCursor() Cursor { return Cursor{p: p} }
+
+// cursorSeekWindow bounds the linear walk before the cursor gives up and
+// binary-searches; large jumps cost O(log n) instead of O(n).
+const cursorSeekWindow = 64
+
+// seek returns the segment index for station s (same invariant as
+// segmentIndex: the greatest i with cum[i] <= s, capped at the last
+// segment), starting the search from the cached segment.
+func (c *Cursor) seek(s float64) int {
+	p := c.p
+	i := c.seg
+	last := len(p.cum) - 2
+	for n := 0; ; n++ {
+		if n > cursorSeekWindow {
+			i = p.segmentIndex(s)
+			break
+		}
+		switch {
+		case p.cum[i] > s && i > 0:
+			i--
+		case i < last && p.cum[i+1] <= s:
+			i++
+		default:
+			c.seg = i
+			return i
+		}
+	}
+	c.seg = i
+	return i
+}
+
+// At returns the position at station s (clamped), like Polyline.At.
+func (c *Cursor) At(s float64) Vec2 {
+	pos, _ := c.PoseAt(s)
+	return pos
+}
+
+// PoseAt returns the position and tangent heading at station s
+// (clamped), like Polyline.PoseAt.
+func (c *Cursor) PoseAt(s float64) (Vec2, float64) {
+	p := c.p
+	s = Clamp(s, 0, p.Length())
+	i := c.seek(s)
+	a, b := p.pts[i], p.pts[i+1]
+	segLen := p.cum[i+1] - p.cum[i]
+	t := (s - p.cum[i]) / segLen
+	dir := b.Sub(a)
+	return a.Lerp(b, t), dir.Angle()
 }
 
 // Arc appends a circular arc to pts: starting at `start` with heading

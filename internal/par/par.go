@@ -1,0 +1,113 @@
+// Package par is the shared bounded worker pool behind every parallel
+// loop in the reproduction: campaign fault-injection sweeps, golden-run
+// batches, detector training, and the per-step camera fan-out in the sim
+// hot loop.
+//
+// A single process-wide pool of GOMAXPROCS-1 persistent workers backs
+// all callers, so nested parallelism (a campaign job that itself renders
+// three cameras concurrently) degrades gracefully to inline execution
+// instead of oversubscribing the machine: work is only handed to a
+// worker that is idle at submission time, and everything else runs on
+// the caller's goroutine. Results are deterministic as long as jobs
+// write to disjoint slots, which every caller in this repo does.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	startOnce sync.Once
+	// taskCh is unbuffered: a send succeeds only while some worker is
+	// idle and blocked on receive, which is exactly the admission rule
+	// that keeps total running goroutines bounded by GOMAXPROCS.
+	taskCh chan func()
+	// poolWorkers is the number of background workers started (0 on a
+	// single-core machine, where every loop runs inline).
+	poolWorkers int
+)
+
+func start() {
+	startOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0) - 1 // the caller's goroutine is a worker too
+		if n < 0 {
+			n = 0
+		}
+		poolWorkers = n
+		taskCh = make(chan func())
+		for i := 0; i < n; i++ {
+			go func() {
+				for f := range taskCh {
+					f()
+				}
+			}()
+		}
+	})
+}
+
+// Workers returns the number of goroutines (including the caller) that
+// can make progress concurrently through this pool.
+func Workers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n). Iterations are distributed
+// over idle pool workers plus the calling goroutine; with no idle
+// workers (GOMAXPROCS=1, or a nested call from inside another ForEach)
+// the whole loop runs inline on the caller. ForEach returns after every
+// iteration has completed. fn must not panic.
+func ForEach(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		fn(0)
+		return
+	}
+	start()
+	if poolWorkers == 0 {
+		// Single-core: run inline with zero scheduling or closure
+		// overhead (this keeps the sim's per-step camera fan-out
+		// allocation-free at GOMAXPROCS=1).
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := next.Add(1) - 1
+			if i >= int64(n) {
+				return
+			}
+			fn(int(i))
+		}
+	}
+	var wg sync.WaitGroup
+	helper := func() {
+		work()
+		wg.Done()
+	}
+recruit:
+	for offered := 0; offered < n-1; offered++ {
+		wg.Add(1)
+		select {
+		case taskCh <- helper:
+		default:
+			// No worker is idle right now; stop recruiting.
+			wg.Done()
+			break recruit
+		}
+	}
+	work()
+	wg.Wait()
+}
+
+// Do runs the given functions, concurrently when idle workers are
+// available, and returns when all have completed.
+func Do(fns ...func()) {
+	ForEach(len(fns), func(i int) { fns[i]() })
+}

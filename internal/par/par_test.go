@@ -1,0 +1,50 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+		hits := make([]int32, n)
+		ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d executed %d times, want 1", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachNested(t *testing.T) {
+	// Nested ForEach must complete (inner calls fall back to inline
+	// execution when no workers are idle) and still cover every index.
+	var total atomic.Int64
+	ForEach(8, func(i int) {
+		ForEach(8, func(j int) { total.Add(1) })
+	})
+	if got := total.Load(); got != 64 {
+		t.Fatalf("nested ForEach ran %d iterations, want 64", got)
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b, c atomic.Bool
+	Do(func() { a.Store(true) }, func() { b.Store(true) }, func() { c.Store(true) })
+	if !a.Load() || !b.Load() || !c.Load() {
+		t.Fatal("Do did not run every function")
+	}
+}
+
+func TestForEachDisjointWrites(t *testing.T) {
+	// The pool's determinism contract: jobs writing disjoint slots
+	// produce the same result regardless of scheduling.
+	out := make([]int, 128)
+	ForEach(len(out), func(i int) { out[i] = i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}

@@ -37,11 +37,17 @@ func NewLaneFollower(v *Vehicle, path *geom.Polyline, station, speed float64) *L
 // Station returns the follower's current arc-length position on its path.
 func (f *LaneFollower) Station() float64 { return f.station }
 
+// projectWindow bounds the follower's per-step projection search: a
+// vehicle moves a fraction of a meter per 40 Hz step, so the nearest
+// segment is always within a few meters of the cached station, and the
+// windowed search keeps per-step cost independent of path length.
+const projectWindow = 40.0
+
 // Step advances the NPC by dt seconds toward its target speed along its
 // path.
 func (f *LaneFollower) Step(dt float64) {
 	v := f.Vehicle
-	st, _ := f.Path.Project(v.State.Pose.Pos)
+	st, _ := f.Path.ProjectNear(v.State.Pose.Pos, f.station, projectWindow)
 	f.station = st
 
 	// Longitudinal: proportional speed control mapped to throttle/brake.

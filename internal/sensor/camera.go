@@ -2,7 +2,6 @@ package sensor
 
 import (
 	"math"
-	"sort"
 
 	"diverseav/internal/geom"
 )
@@ -126,8 +125,20 @@ type Scene struct {
 	EgoPose geom.Pose
 	// RoadCenterAhead maps forward distance (meters, ego frame) to the
 	// road center's lateral offset in the ego frame (meters, positive
-	// left). It is sampled per row to paint curved roads correctly.
+	// left). It is sampled per ground pixel to paint curved roads
+	// correctly. When Route is non-nil the rasterizer ignores this and
+	// uses the cursor-based route path instead, which computes the same
+	// quantity without a closure round-trip per pixel.
 	RoadCenterAhead func(dist float64) float64
+	// Route is the ego-lane centerline; RouteStation is the ego's
+	// station on it. When set, the road center lateral at forward
+	// distance dist is ToLocal(Route.At(RouteStation+dist)).Y +
+	// RouteCenterOffset, evaluated with an amortized-O(1) cursor over
+	// the bounded station window [RouteStation, RouteStation +
+	// MaxGroundDist] the frame can see.
+	Route             *geom.Polyline
+	RouteStation      float64
+	RouteCenterOffset float64
 	// RoadHalfWidth is the half-width of the drivable surface around the
 	// road center (two lanes in all our maps).
 	RoadHalfWidth float64
@@ -196,46 +207,123 @@ func Project(cam CameraID, ego geom.Pose, o *RenderObstacle) (Projection, bool) 
 	}, true
 }
 
+// Rasterizer lookup tables, computed once at package init. The ground
+// ray (ex, ey) of a pixel — the camera-frame ray (RowDistance forward,
+// ColLateral left) rotated by the camera's mounting yaw — depends only
+// on (camera, row, column), and the sky gradient and cloud texture only
+// on (row, column), so none of it needs recomputing per frame. The
+// pixel-index halves of the per-frame noise hashes are likewise static:
+// hash2(frameKey, k) is hash64(frameKey ^ hash64(k)), and hash64(k) is
+// tabulated here.
+const groundRows = FrameH - HorizonRow - 1
+
+var (
+	groundEx [NumCameras][groundRows * FrameW]float64
+	groundEy [NumCameras][groundRows * FrameW]float64
+	skyCol   [HorizonRow + 1][3]float64
+	skyCloud [(HorizonRow + 1) * FrameW]float64
+	// pixHash[i] = hash64(i); pixHashOb[i] = hash64(i + 0x5bd1), the
+	// obstacle-noise variant.
+	pixHash   [FrameW * FrameH]uint64
+	pixHashOb [FrameW * FrameH]uint64
+)
+
+func init() {
+	for i := range pixHash {
+		pixHash[i] = hash64(uint64(i))
+		pixHashOb[i] = hash64(uint64(i) + 0x5bd1)
+	}
+	for v := 0; v <= HorizonRow; v++ {
+		t := float64(v) / float64(HorizonRow)
+		skyCol[v][0] = colSkyTop[0] + (colSkyBot[0]-colSkyTop[0])*t
+		skyCol[v][1] = colSkyTop[1] + (colSkyBot[1]-colSkyTop[1])*t
+		skyCol[v][2] = colSkyTop[2] + (colSkyBot[2]-colSkyTop[2])*t
+		for u := 0; u < FrameW; u++ {
+			skyCloud[v*FrameW+u] = 6 * noiseUnit(hash2(uint64(u/8), uint64(v/4)+977))
+		}
+	}
+	for cam := CameraID(0); cam < NumCameras; cam++ {
+		sinY, cosY := math.Sincos(cam.YawOffset())
+		for v := HorizonRow + 1; v < FrameH; v++ {
+			d := RowDistance(v)
+			for u := 0; u < FrameW; u++ {
+				lat := ColLateral(u, d)
+				gi := (v-HorizonRow-1)*FrameW + u
+				groundEx[cam][gi] = d*cosY - lat*sinY
+				groundEy[cam][gi] = d*sinY + lat*cosY
+			}
+		}
+	}
+}
+
 // Render rasterizes the scene from the given camera into dst (allocated
-// if nil) and returns it.
+// if nil) and returns it. Render does not mutate the scene, so the three
+// cameras of one frame may render concurrently into disjoint frames.
 func Render(cam CameraID, sc *Scene, dst Frame) Frame {
 	if dst == nil {
 		dst = NewFrame()
 	}
 	camYaw := cam.YawOffset()
-	sinY, cosY := math.Sincos(camYaw)
 	frameKey := hash2(sc.NoiseSeed, uint64(sc.Step)<<3|uint64(cam))
+	noiseAmp := sc.NoiseStd * 2
 
 	// Sky rows.
 	for v := 0; v <= HorizonRow; v++ {
-		t := float64(v) / float64(HorizonRow)
-		r := colSkyTop[0] + (colSkyBot[0]-colSkyTop[0])*t
-		g := colSkyTop[1] + (colSkyBot[1]-colSkyTop[1])*t
-		b := colSkyTop[2] + (colSkyBot[2]-colSkyTop[2])*t
+		r, g, b := skyCol[v][0], skyCol[v][1], skyCol[v][2]
+		row := v * FrameW
 		for u := 0; u < FrameW; u++ {
-			n := sc.NoiseStd * 2 * noiseUnit(hash2(frameKey, uint64(v*FrameW+u)))
-			// Slow cloud texture anchored to view direction.
-			cl := 6 * noiseUnit(hash2(uint64(u/8), uint64(v/4)+977))
+			n := noiseAmp * noiseUnit(hash64(frameKey^pixHash[row+u]))
+			cl := skyCloud[row+u]
 			dst.set(u, v, r+n+cl, g+n+cl, b+n+cl)
 		}
 	}
 
-	// Ground rows.
+	// Ground rows. The per-frame trig is hoisted: sT/cT rotate world
+	// deltas into the ego frame (Pose.ToLocal's Rot(-yaw)) for the road
+	// center, sW/cW rotate ego-frame rays into the world (Pose.ToWorld)
+	// for the world-anchored texture.
+	sT, cT := math.Sincos(-sc.EgoPose.Yaw)
+	sW, cW := math.Sincos(sc.EgoPose.Yaw)
+	px, py := sc.EgoPose.Pos.X, sc.EgoPose.Pos.Y
+	exLUT := &groundEx[cam]
+	eyLUT := &groundEy[cam]
+	useRoute := sc.Route != nil
+	var cur geom.Cursor
+	if useRoute {
+		cur = sc.Route.NewCursor()
+	}
+	// The road center depends only on ex, and ex repeats across a row
+	// for the unyawed camera (and at row ends for clipped rays), so one
+	// memo slot removes most station lookups.
+	lastEx := math.Inf(-1)
+	var lastCenter float64
 	for v := HorizonRow + 1; v < FrameH; v++ {
-		d := RowDistance(v)
-		// Road center lateral at the row's forward distance (ego frame).
+		gi := (v - HorizonRow - 1) * FrameW
+		row := v * FrameW
 		for u := 0; u < FrameW; u++ {
-			lat := ColLateral(u, d)
-			// Ground point in ego frame: rotate the camera-frame ray
-			// (d forward, lat left) by the camera yaw.
-			ex := d*cosY - lat*sinY
-			ey := d*sinY + lat*cosY
-			wp := sc.EgoPose.ToWorld(geom.V2(ex, ey))
+			ex := exLUT[gi+u]
+			ey := eyLUT[gi+u]
+			// Ground point in world frame.
+			wx := px + (ex*cW - ey*sW)
+			wy := py + (ex*sW + ey*cW)
 			var r, g, b float64
 			if ex <= 0.3 {
 				r, g, b = colGrass[0], colGrass[1], colGrass[2]
 			} else {
-				center := sc.RoadCenterAhead(ex)
+				var center float64
+				switch {
+				case ex == lastEx:
+					center = lastCenter
+				case useRoute:
+					// Same math as the sim's RoadCenterAhead closure:
+					// the route point at station RouteStation+ex,
+					// rotated into the ego frame, plus the lane offset.
+					p := cur.At(sc.RouteStation + ex)
+					center = (p.X-px)*sT + (p.Y-py)*cT + sc.RouteCenterOffset
+				default:
+					center = sc.RoadCenterAhead(ex)
+				}
+				lastEx, lastCenter = ex, center
 				laneLat := ey - center
 				switch {
 				case math.Abs(laneLat) > sc.RoadHalfWidth:
@@ -248,7 +336,7 @@ func Render(cam CameraID, sc *Scene, dst Frame) Frame {
 							// gap) anchored in world space so they sweep
 							// through the image as the vehicle moves;
 							// edge markings are solid.
-							if mo == 0 && int(math.Floor((wp.X+wp.Y)/2))%2 != 0 {
+							if mo == 0 && int(math.Floor((wx+wy)/2))%2 != 0 {
 								continue
 							}
 							r, g, b = colMark[0], colMark[1], colMark[2]
@@ -263,18 +351,20 @@ func Render(cam CameraID, sc *Scene, dst Frame) Frame {
 			}
 			// World-anchored texture makes consecutive frames bit-diverse
 			// as the vehicle moves.
-			tex := 7 * worldTexture(wp.X, wp.Y)
-			n := sc.NoiseStd * 2 * noiseUnit(hash2(frameKey, uint64(v*FrameW+u)))
+			tex := 7 * worldTexture(wx, wy)
+			n := noiseAmp * noiseUnit(hash64(frameKey^pixHash[row+u]))
 			dst.set(u, v, r+tex+n, g+tex+n, b+tex+n)
 		}
 	}
 
-	// Obstacles, far to near (painter's algorithm).
+	// Obstacles, far to near (painter's algorithm). The depth list lives
+	// on the stack for typical obstacle counts.
 	type proj struct {
 		x float64 // camera-frame forward distance
 		o *RenderObstacle
 	}
-	projs := make([]proj, 0, len(sc.Obstacles))
+	var projBuf [16]proj
+	projs := projBuf[:0]
 	camPose := geom.Pose{Pos: sc.EgoPose.Pos, Yaw: sc.EgoPose.Yaw + camYaw}
 	for i := range sc.Obstacles {
 		o := &sc.Obstacles[i]
@@ -283,7 +373,13 @@ func Render(cam CameraID, sc *Scene, dst Frame) Frame {
 			projs = append(projs, proj{local.X, o})
 		}
 	}
-	sort.Slice(projs, func(i, j int) bool { return projs[i].x > projs[j].x })
+	// Insertion sort, descending x: obstacle counts are tiny and this
+	// avoids sort.Slice's closure allocation in the per-frame path.
+	for i := 1; i < len(projs); i++ {
+		for j := i; j > 0 && projs[j-1].x < projs[j].x; j-- {
+			projs[j-1], projs[j] = projs[j], projs[j-1]
+		}
+	}
 	for _, pr := range projs {
 		o := pr.o
 		proj, ok := Project(cam, sc.EgoPose, o)
@@ -313,7 +409,7 @@ func Render(cam CameraID, sc *Scene, dst Frame) Frame {
 				// Body shading varies with surface position (anchored to
 				// the obstacle, so it moves with it) plus sensor noise.
 				sh := 8 * noiseUnit(hash2(uint64(u-u0), uint64(v-v0)+31))
-				n := sc.NoiseStd * 2 * noiseUnit(hash2(frameKey, uint64(v*FrameW+u)+0x5bd1))
+				n := noiseAmp * noiseUnit(hash64(frameKey^pixHashOb[v*FrameW+u]))
 				dst.set(u, v, r+sh+n, g+sh+n, b+sh+n)
 			}
 		}

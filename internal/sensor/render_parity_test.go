@@ -1,0 +1,71 @@
+package sensor
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"diverseav/internal/geom"
+)
+
+// curvyScene builds a scene over a curved route, once with the closure
+// road-center path and once with the cursor-based route path.
+func curvyScene(withRoute bool) *Scene {
+	pts, end := geom.Straight(nil, geom.V2(0, 0), 0, 60, 2)
+	pts, _, _ = geom.Arc(pts, end, 0, 50, math.Pi/2, 1.5)
+	route := geom.MustPolyline(pts)
+	const st0 = 22.0
+	pos, yaw := route.PoseAt(st0)
+	ego := geom.Pose{Pos: pos, Yaw: yaw + 0.03}
+	sc := &Scene{
+		EgoPose:         ego,
+		RoadHalfWidth:   3.5,
+		LaneMarkOffsets: []float64{-3.5, 0, 3.5},
+		Obstacles: []RenderObstacle{
+			{Pose: geom.Pose{Pos: route.At(st0 + 25), Yaw: yaw}, HalfL: 2.2, HalfW: 0.9, Braking: true},
+		},
+		StopBars:  []StopBar{{Dist: 40}},
+		Step:      7,
+		NoiseSeed: 0xfeed,
+		NoiseStd:  1.2,
+	}
+	if withRoute {
+		sc.Route = route
+		sc.RouteStation = st0
+		sc.RouteCenterOffset = 1.75
+	} else {
+		sc.RoadCenterAhead = func(dist float64) float64 {
+			local := ego.ToLocal(route.At(st0 + dist))
+			return local.Y + 1.75
+		}
+	}
+	return sc
+}
+
+// TestRenderRoutePathMatchesClosure pins the LUT/cursor fast path to the
+// reference closure path: both must rasterize byte-identical frames for
+// every camera, so the optimization cannot silently change sensor data.
+func TestRenderRoutePathMatchesClosure(t *testing.T) {
+	for cam := CameraID(0); cam < NumCameras; cam++ {
+		want := Render(cam, curvyScene(false), nil)
+		got := Render(cam, curvyScene(true), nil)
+		if !bytes.Equal(want, got) {
+			diff := 0
+			for i := range want {
+				if want[i] != got[i] {
+					diff++
+				}
+			}
+			t.Errorf("camera %s: route-path frame differs from closure-path frame in %d/%d bytes", cam, diff, len(want))
+		}
+	}
+}
+
+func BenchmarkRenderFrame(b *testing.B) {
+	sc := curvyScene(true)
+	dst := NewFrame()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Render(CamCenter, sc, dst)
+	}
+}

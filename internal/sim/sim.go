@@ -12,6 +12,7 @@ import (
 	"diverseav/internal/agent"
 	"diverseav/internal/fi"
 	"diverseav/internal/geom"
+	"diverseav/internal/par"
 	"diverseav/internal/physics"
 	"diverseav/internal/rng"
 	"diverseav/internal/scenario"
@@ -89,6 +90,12 @@ type Config struct {
 	// StepHook, when non-nil, observes each step after sensing and
 	// before agent execution (visualization and debugging).
 	StepHook func(step int, env *scenario.Env, frames *[3]sensor.Frame)
+	// SerialRender forces the three cameras to render sequentially on
+	// the calling goroutine instead of fanning out over the shared
+	// worker pool. Rendering is deterministic either way (the frames
+	// are disjoint buffers); the determinism regression tests use this
+	// to pin the parallel path to the sequential one.
+	SerialRender bool
 }
 
 // MemFault is a single uncorrected memory bit flip (ECC-off model).
@@ -160,6 +167,27 @@ func Run(cfg Config) *Result {
 	// effective sensing period (varies under partial overlap).
 	lastFrame := [2]int{-1, -1}
 	frames := [3]sensor.Frame{sensor.NewFrame(), sensor.NewFrame(), sensor.NewFrame()}
+	tr.Steps = make([]trace.Step, 0, steps)
+
+	// Per-run scratch, reused every step so the hot loop allocates
+	// nothing: the scene (with its obstacle and stop-bar slices), the
+	// camera render fan-out closures, the ego projection hint, and the
+	// NPC vehicle list for collision/CVIP checks.
+	scene := &sensor.Scene{
+		Route:             env.Route.Path,
+		RouteCenterOffset: 1.75,
+		RoadHalfWidth:     3.5,
+		LaneMarkOffsets:   laneMarkOffsets,
+		Obstacles:         make([]sensor.RenderObstacle, 0, len(env.NPCs)),
+		StopBars:          make([]sensor.StopBar, 0, 1),
+		NoiseSeed:         cfg.Seed,
+		NoiseStd:          noiseStd,
+	}
+	renderCam := func(i int) {
+		sensor.Render(renderOrder[i], scene, frames[i])
+	}
+	egoSt, _ := env.Route.Path.Project(env.Ego.State.Pose.Pos)
+	vehicles := make([]*physics.Vehicle, 0, len(env.NPCs))
 
 	for step := 0; step < steps; step++ {
 		t := float64(step) * dt
@@ -173,11 +201,16 @@ func Run(cfg Config) *Result {
 		}
 
 		// Sensing.
-		st0, _ := env.Route.Path.Project(env.Ego.State.Pose.Pos)
-		scene := buildScene(env, st0, t, step, cfg.Seed, noiseStd)
-		sensor.Render(sensor.CamCenter, scene, frames[0])
-		sensor.Render(sensor.CamLeft, scene, frames[1])
-		sensor.Render(sensor.CamRight, scene, frames[2])
+		st0, _ := env.Route.Path.ProjectNear(env.Ego.State.Pose.Pos, egoSt, egoProjectWindow)
+		egoSt = st0
+		updateScene(scene, env, st0, t, step)
+		if cfg.SerialRender {
+			renderCam(0)
+			renderCam(1)
+			renderCam(2)
+		} else {
+			par.ForEach(3, renderCam)
+		}
 		reading := imu.Read(env.Ego.State)
 		limit := env.Route.LimitAt(st0)
 		if cfg.StepHook != nil {
@@ -241,7 +274,8 @@ func Run(cfg Config) *Result {
 		env.Ego.Step(applied, dt)
 
 		// Record.
-		cvip, ok := physics.CVIP(env.Ego, npcVehicles(env), 2.2, 80)
+		vehicles = npcVehicles(env, vehicles)
+		cvip, ok := physics.CVIP(env.Ego, vehicles, 2.2, 80)
 		if !ok {
 			cvip = -1
 		}
@@ -319,50 +353,51 @@ func fusionDrives(m Mode, id, step int) bool {
 	}
 }
 
-func npcVehicles(env *scenario.Env) []*physics.Vehicle {
-	vs := make([]*physics.Vehicle, 0, len(env.NPCs))
+// egoProjectWindow bounds the per-step ego projection search around the
+// previous step's station (the ego moves well under a meter per step).
+const egoProjectWindow = 40.0
+
+// laneMarkOffsets is the painted-marking layout of all our two-lane
+// roads, relative to the road center. Shared read-only across runs.
+var laneMarkOffsets = []float64{-3.5, 0, 3.5}
+
+// renderOrder maps frame-buffer index to camera: frames[0] is center,
+// frames[1] left, frames[2] right (the agent input layout).
+var renderOrder = [3]sensor.CameraID{sensor.CamCenter, sensor.CamLeft, sensor.CamRight}
+
+// npcVehicles refreshes the reusable NPC vehicle list (scripts may add
+// NPCs mid-run; the common case is a stable set).
+func npcVehicles(env *scenario.Env, vs []*physics.Vehicle) []*physics.Vehicle {
+	vs = vs[:0]
 	for _, n := range env.NPCs {
 		vs = append(vs, n.Follower.Vehicle)
 	}
 	return vs
 }
 
-// buildScene assembles the rasterizer input for the current step.
-func buildScene(env *scenario.Env, st0, t float64, step int, seed uint64, noiseStd float64) *sensor.Scene {
-	obstacles := make([]sensor.RenderObstacle, 0, len(env.NPCs))
+// updateScene refreshes the reusable rasterizer input for the current
+// step. The route path is the ego lane centerline; the road center sits
+// half a lane to its left (RouteCenterOffset), and the rasterizer
+// evaluates it with a station cursor over [st0, st0+MaxGroundDist].
+func updateScene(scene *sensor.Scene, env *scenario.Env, st0, t float64, step int) {
+	scene.EgoPose = env.Ego.State.Pose
+	scene.RouteStation = st0
+	scene.Step = step
+	scene.Obstacles = scene.Obstacles[:0]
 	for _, n := range env.NPCs {
 		v := n.Follower.Vehicle
-		obstacles = append(obstacles, sensor.RenderObstacle{
+		scene.Obstacles = append(scene.Obstacles, sensor.RenderObstacle{
 			Pose:    v.State.Pose,
 			HalfL:   v.HalfL,
 			HalfW:   v.HalfW,
 			Braking: n.Braking,
 		})
 	}
-	var bars []sensor.StopBar
+	scene.StopBars = scene.StopBars[:0]
 	if light, ok := env.Town.NextLight(env.Route.LaneID, st0); ok {
 		if d := light.Station - st0; d < 70 && light.StateAt(t) != 0 {
-			bars = append(bars, sensor.StopBar{Dist: d})
+			scene.StopBars = append(scene.StopBars, sensor.StopBar{Dist: d})
 		}
-	}
-	ego := env.Ego.State.Pose
-	route := env.Route.Path
-	return &sensor.Scene{
-		EgoPose: ego,
-		RoadCenterAhead: func(dist float64) float64 {
-			p := route.At(st0 + dist)
-			local := ego.ToLocal(p)
-			// The route path is the ego lane centerline; the road center
-			// sits half a lane to its left.
-			return local.Y + 1.75
-		},
-		RoadHalfWidth:   3.5,
-		LaneMarkOffsets: []float64{-3.5, 0, 3.5},
-		Obstacles:       obstacles,
-		StopBars:        bars,
-		Step:            step,
-		NoiseSeed:       seed,
-		NoiseStd:        noiseStd,
 	}
 }
 

@@ -142,7 +142,16 @@ func (m *Machine) Int(d Device, i int) int64 { return m.dev[d].r[i] }
 // Run executes the program on the given device until HALT, a trap, or the
 // step budget is exhausted. Register state and memory persist across
 // calls; the program counter starts at the program entry every call.
+//
+// With no fault hook installed (golden, training, and benchmark runs —
+// the vast majority of all executed instructions) Run dispatches to a
+// specialized loop whose writebacks commit directly to the register
+// file, skipping the per-writeback hook plumbing; see runDirect. Both
+// loops execute identical semantics.
 func (m *Machine) Run(d Device, p *Program, stepBudget uint64) error {
+	if m.hook == nil {
+		return m.runDirect(d, p, stepBudget)
+	}
 	ds := &m.dev[d]
 	code := p.Code
 	pc := p.entry
@@ -258,6 +267,130 @@ func (m *Machine) Run(d Device, p *Program, stepBudget uint64) error {
 		case HALT:
 			return nil
 		default:
+			return &Trap{Kind: TrapBadInstr, Device: d, Program: p.Name, PC: pc - 1}
+		}
+	}
+}
+
+// runDirect is Run for machines with no fault hook: the same fetch /
+// decode / trap semantics, with writebacks committed straight into the
+// register file. Keep the two loops in lockstep when changing the ISA.
+func (m *Machine) runDirect(d Device, p *Program, stepBudget uint64) error {
+	ds := &m.dev[d]
+	code := p.Code
+	mem := m.mem
+	pc := p.entry
+	var steps uint64
+	for {
+		if pc < 0 || pc >= len(code) {
+			ds.count += steps
+			return &Trap{Kind: TrapInvalidPC, Device: d, Program: p.Name, PC: pc}
+		}
+		if steps >= stepBudget {
+			ds.count += steps
+			return &Trap{Kind: TrapStepBudget, Device: d, Program: p.Name, PC: pc}
+		}
+		steps++
+		in := &code[pc]
+		pc++
+		switch in.Op {
+		case FADD:
+			ds.f[in.Dst] = ds.f[in.A] + ds.f[in.B]
+		case FSUB:
+			ds.f[in.Dst] = ds.f[in.A] - ds.f[in.B]
+		case FMUL:
+			ds.f[in.Dst] = ds.f[in.A] * ds.f[in.B]
+		case FDIV:
+			ds.f[in.Dst] = ds.f[in.A] / ds.f[in.B]
+		case FMA:
+			ds.f[in.Dst] = ds.f[in.A]*ds.f[in.B] + ds.f[in.C]
+		case FMIN:
+			ds.f[in.Dst] = math.Min(ds.f[in.A], ds.f[in.B])
+		case FMAX:
+			ds.f[in.Dst] = math.Max(ds.f[in.A], ds.f[in.B])
+		case FABS:
+			ds.f[in.Dst] = math.Abs(ds.f[in.A])
+		case FNEG:
+			ds.f[in.Dst] = -ds.f[in.A]
+		case FSQRT:
+			ds.f[in.Dst] = math.Sqrt(ds.f[in.A])
+		case FEXP:
+			ds.f[in.Dst] = math.Exp(ds.f[in.A])
+		case FTANH:
+			ds.f[in.Dst] = math.Tanh(ds.f[in.A])
+		case FMOV:
+			ds.f[in.Dst] = ds.f[in.A]
+		case FMOVI:
+			ds.f[in.Dst] = in.Imm
+		case FSEL:
+			if ds.r[in.C] != 0 {
+				ds.f[in.Dst] = ds.f[in.A]
+			} else {
+				ds.f[in.Dst] = ds.f[in.B]
+			}
+		case ITOF:
+			ds.f[in.Dst] = float64(ds.r[in.A])
+		case IADD:
+			ds.r[in.Dst] = ds.r[in.A] + ds.r[in.B]
+		case ISUB:
+			ds.r[in.Dst] = ds.r[in.A] - ds.r[in.B]
+		case IMUL:
+			ds.r[in.Dst] = ds.r[in.A] * ds.r[in.B]
+		case IAND:
+			ds.r[in.Dst] = ds.r[in.A] & ds.r[in.B]
+		case IOR:
+			ds.r[in.Dst] = ds.r[in.A] | ds.r[in.B]
+		case IXOR:
+			ds.r[in.Dst] = ds.r[in.A] ^ ds.r[in.B]
+		case ISHL:
+			ds.r[in.Dst] = ds.r[in.A] << (uint64(ds.r[in.B]) & 63)
+		case ISHR:
+			ds.r[in.Dst] = ds.r[in.A] >> (uint64(ds.r[in.B]) & 63)
+		case IMOV:
+			ds.r[in.Dst] = ds.r[in.A]
+		case IMOVI:
+			ds.r[in.Dst] = in.IImm
+		case IADDI:
+			ds.r[in.Dst] = ds.r[in.A] + in.IImm
+		case FTOI:
+			ds.r[in.Dst] = saturateToInt(ds.f[in.A])
+		case ICMPLT:
+			ds.r[in.Dst] = boolToInt(ds.r[in.A] < ds.r[in.B])
+		case ICMPEQ:
+			ds.r[in.Dst] = boolToInt(ds.r[in.A] == ds.r[in.B])
+		case FCMPLT:
+			ds.r[in.Dst] = boolToInt(ds.f[in.A] < ds.f[in.B])
+		case FCMPLE:
+			ds.r[in.Dst] = boolToInt(ds.f[in.A] <= ds.f[in.B])
+		case LD:
+			addr := ds.r[in.A] + in.IImm
+			if addr < 0 || addr >= int64(len(mem)) {
+				ds.count += steps
+				return &Trap{Kind: TrapOOB, Device: d, Program: p.Name, PC: pc - 1}
+			}
+			ds.f[in.Dst] = mem[addr]
+		case ST:
+			addr := ds.r[in.A] + in.IImm
+			if addr < 0 || addr >= int64(len(mem)) {
+				ds.count += steps
+				return &Trap{Kind: TrapOOB, Device: d, Program: p.Name, PC: pc - 1}
+			}
+			mem[addr] = ds.f[in.B]
+		case JMP:
+			pc = int(in.IImm)
+		case BEQZ:
+			if ds.r[in.A] == 0 {
+				pc = int(in.IImm)
+			}
+		case BNEZ:
+			if ds.r[in.A] != 0 {
+				pc = int(in.IImm)
+			}
+		case HALT:
+			ds.count += steps
+			return nil
+		default:
+			ds.count += steps
 			return &Trap{Kind: TrapBadInstr, Device: d, Program: p.Name, PC: pc - 1}
 		}
 	}

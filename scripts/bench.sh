@@ -1,0 +1,7 @@
+#!/bin/sh
+# Runs the hot-path benchmark suite and writes BENCH_<date>.json into the
+# repo root. Pass -benchtime 3x for a quick run; all flags are forwarded
+# to cmd/bench.
+set -e
+cd "$(dirname "$0")/.."
+exec go run ./cmd/bench "$@"
