@@ -15,14 +15,19 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
+	"diverseav/internal/campaign"
+	"diverseav/internal/fi"
 	"diverseav/internal/geom"
 	"diverseav/internal/scenario"
 	"diverseav/internal/sensor"
 	"diverseav/internal/sim"
+	"diverseav/internal/vm"
 )
 
 // Entry is one benchmark's record in the output file.
@@ -55,6 +60,56 @@ func benchSimRun(mode sim.Mode, serial bool) (func(b *testing.B), int) {
 			sim.Run(cfg)
 		}
 	}, steps
+}
+
+// benchCampaignTransient measures the transient portion of a campaign at
+// DefaultSizes — the workload checkpoint/fork execution targets. The
+// golden set is precomputed (it is shared across campaigns and not what
+// is being measured); the profiling pass is included, since the fork
+// path pays for its checkpoint emission there. stepsOut receives the
+// total trace steps the campaign produced (identical every iteration),
+// so StepsPerSec is the EFFECTIVE throughput: forked runs get their
+// restored prefix steps for free, which is exactly the win.
+func benchCampaignTransient(opts campaign.Options, stepsOut *int) func(b *testing.B) {
+	sc := scenario.LeadSlowdown()
+	sizes := campaign.DefaultSizes()
+	golden := campaign.Golden(sc, sim.RoundRobin, 1, 1033)
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := campaign.RunWithOptions(sc, sim.RoundRobin, vm.GPU, fi.Transient, sizes, 33, golden, opts)
+			total := 0
+			for _, r := range c.Runs {
+				total += len(r.Result.Trace.Steps)
+			}
+			*stepsOut = total
+		}
+	}
+}
+
+// benchRunFromCheckpoint measures a single fork: resume a run from its
+// midpoint checkpoint. StepsPerSec is again effective throughput over
+// the full trace (half restored, half simulated).
+func benchRunFromCheckpoint(stepsOut *int) func(b *testing.B) {
+	cfg := sim.Config{Scenario: scenario.LeadSlowdown(), Mode: sim.RoundRobin, Seed: 3}
+	cpCfg := cfg
+	cpCfg.CheckpointEvery = campaign.DefaultCheckpointEvery
+	res := sim.Run(cpCfg)
+	if len(res.Checkpoints) == 0 {
+		panic("no checkpoints emitted")
+	}
+	cp := res.Checkpoints[len(res.Checkpoints)/2]
+	*stepsOut = len(res.Trace.Steps)
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunFrom(cp, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 }
 
 // benchScene builds a representative render scene: curved route, two
@@ -160,6 +215,7 @@ func main() {
 	if path == "" {
 		path = fmt.Sprintf("BENCH_%s.json", date)
 	}
+	prev, prevPath := loadPreviousReport()
 
 	rep := Report{
 		Date:       date,
@@ -197,9 +253,21 @@ func main() {
 	add("sim-run/roundrobin-serial", testing.Benchmark(fn), steps)
 	fn, steps = benchSimRun(sim.Duplicate, false)
 	add("sim-run/duplicate", testing.Benchmark(fn), steps)
+	var cpSteps int
+	cpFn := benchRunFromCheckpoint(&cpSteps)
+	add("sim-run-from-checkpoint", testing.Benchmark(cpFn), cpSteps)
+	var campSteps int
+	campFn := benchCampaignTransient(campaign.Options{CheckpointEvery: -1}, &campSteps)
+	r := testing.Benchmark(campFn)
+	add("campaign/transient-cold", r, campSteps)
+	campFn = benchCampaignTransient(campaign.Options{}, &campSteps)
+	r = testing.Benchmark(campFn)
+	add("campaign/transient-fork", r, campSteps)
 	add("render/center-camera", testing.Benchmark(benchRender), 0)
 	add("geom/project-full", testing.Benchmark(benchProject), 0)
 	add("geom/project-near", testing.Benchmark(benchProjectNear), 0)
+
+	diffReports(prev, prevPath, rep)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -212,4 +280,54 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("wrote", path)
+}
+
+// loadPreviousReport finds the newest BENCH_*.json in the working
+// directory (by the date in its name) and parses it, so a fresh run
+// prints a regression/improvement diff before overwriting. Returns nil
+// when no previous report exists or it cannot be parsed.
+func loadPreviousReport() (*Report, string) {
+	matches, _ := filepath.Glob("BENCH_*.json")
+	if len(matches) == 0 {
+		return nil, ""
+	}
+	sort.Strings(matches) // names embed the ISO date, so this is newest-last
+	path := matches[len(matches)-1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, ""
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, ""
+	}
+	return &rep, path
+}
+
+// diffReports prints the change versus the previous report, entry by
+// entry: steps/s for full-simulation entries (higher is better), ns/op
+// for the rest (lower is better).
+func diffReports(prev *Report, prevPath string, cur Report) {
+	if prev == nil {
+		return
+	}
+	old := make(map[string]Entry, len(prev.Entries))
+	for _, e := range prev.Entries {
+		old[e.Name] = e
+	}
+	fmt.Printf("\nvs %s:\n", prevPath)
+	for _, e := range cur.Entries {
+		p, ok := old[e.Name]
+		if !ok {
+			fmt.Printf("  %-28s (new entry)\n", e.Name)
+			continue
+		}
+		if e.StepsPerSec > 0 && p.StepsPerSec > 0 {
+			fmt.Printf("  %-28s %12.0f -> %12.0f steps/s  (%+.1f%%)\n",
+				e.Name, p.StepsPerSec, e.StepsPerSec, 100*(e.StepsPerSec/p.StepsPerSec-1))
+		} else if p.NsPerOp > 0 {
+			fmt.Printf("  %-28s %12.0f -> %12.0f ns/op    (%+.1f%%)\n",
+				e.Name, p.NsPerOp, e.NsPerOp, 100*(e.NsPerOp/p.NsPerOp-1))
+		}
+	}
 }

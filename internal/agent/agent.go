@@ -113,6 +113,16 @@ func (a *Agent) initMemory() {
 // accounting).
 func (a *Agent) Machine() *vm.Machine { return a.mach }
 
+// Snapshot captures the agent's full mutable state. An agent's state
+// lives entirely in its machine (memory, registers, instruction
+// counters); the compiled programs are immutable and shared.
+func (a *Agent) Snapshot() *vm.MachineState { return a.mach.Snapshot() }
+
+// Restore rewinds the agent to a snapshot taken from an agent of the
+// same configuration (snapshots copy, so many forks may restore from
+// one snapshot concurrently).
+func (a *Agent) Restore(st *vm.MachineState) { a.mach.Restore(st) }
+
 // marshalFrame subsamples one camera frame into the staging buffer:
 // every other column always, every other row for side cameras.
 func marshalFrame(mem []float64, base int64, f sensor.Frame, rowStride int) {

@@ -92,6 +92,35 @@ func Profile(sc *scenario.Scenario, mode sim.Mode, seed uint64) *fi.Profile {
 	return &prof
 }
 
+// ProfileWithCheckpoints is the checkpoint-emitting profiling pass: one
+// fault-free run that records the instruction profile AND snapshots the
+// loop state every `every` steps. The profile observer never corrupts
+// anything, so the checkpoints are exactly those of a plain golden run
+// at the same seed — valid fork points for any injection run that
+// replays the seed and whose fault activates after the checkpoint.
+func ProfileWithCheckpoints(sc *scenario.Scenario, mode sim.Mode, seed uint64, every int) (*fi.Profile, []*sim.Checkpoint) {
+	var prof fi.Profile
+	res := sim.Run(sim.Config{Scenario: sc, Mode: mode, Seed: seed, Profile: &prof, CheckpointEvery: every})
+	return &prof, res.Checkpoints
+}
+
+// DefaultCheckpointEvery is the golden-pass checkpoint interval (steps)
+// used by transient fork execution. At 40 Hz this snapshots every 1.25 s
+// of simulated time: ~24 checkpoints on the 30 s test scenarios, cheap
+// next to a single re-simulated prefix.
+const DefaultCheckpointEvery = 50
+
+// Options tunes campaign execution strategy without touching its
+// experimental definition (same plans, same seeds, same results).
+type Options struct {
+	// CheckpointEvery is the checkpoint interval of the transient
+	// campaign's profiling pass. 0 selects DefaultCheckpointEvery;
+	// a negative value disables fork execution entirely, running every
+	// injection cold from step 0 (the benchmark's reference
+	// configuration — results are identical, only slower).
+	CheckpointEvery int
+}
+
 // Run executes one fault-injection campaign: plans from the profile,
 // one simulation per plan, plus golden control runs.
 func Run(sc *scenario.Scenario, mode sim.Mode, target vm.Device, model fi.Model, sizes Sizes, seedBase uint64) *Campaign {
@@ -102,7 +131,36 @@ func Run(sc *scenario.Scenario, mode sim.Mode, target vm.Device, model fi.Model,
 // same scenario and mode share their golden controls, like the paper's
 // 50 golden runs per scenario).
 func RunWithGolden(sc *scenario.Scenario, mode sim.Mode, target vm.Device, model fi.Model, sizes Sizes, seedBase uint64, golden []*sim.Result) *Campaign {
-	prof := Profile(sc, mode, seedBase)
+	return RunWithOptions(sc, mode, target, model, sizes, seedBase, golden, Options{})
+}
+
+// RunWithOptions is the full-control campaign entry point.
+//
+// Transient campaigns follow NVBitFI's replay semantics: every injection
+// run replays the profiling run's seed, differing only in the injected
+// fault. All transient runs of a campaign therefore share one fault-free
+// prefix up to each plan's activation step, and (unless opts disables
+// it) execute by forking from the latest profiling-pass checkpoint at or
+// before that step instead of re-simulating the prefix. The fork-
+// equivalence invariant (see internal/sim) guarantees bit-identical
+// traces, so Options only changes wall-clock, never results.
+//
+// Permanent campaigns keep the cold path with per-run seeds: a permanent
+// fault corrupts from the first instruction, so no prefix is fault-free
+// and there is nothing to share.
+func RunWithOptions(sc *scenario.Scenario, mode sim.Mode, target vm.Device, model fi.Model, sizes Sizes, seedBase uint64, golden []*sim.Result, opts Options) *Campaign {
+	every := opts.CheckpointEvery
+	if every == 0 {
+		every = DefaultCheckpointEvery
+	}
+
+	var prof *fi.Profile
+	var cps []*sim.Checkpoint
+	if model == fi.Transient && every > 0 {
+		prof, cps = ProfileWithCheckpoints(sc, mode, seedBase, every)
+	} else {
+		prof = Profile(sc, mode, seedBase)
+	}
 	planner := fi.NewPlanner(rng.New(seedBase ^ 0xfa017))
 	var plans []fi.Plan
 	if model == fi.Transient {
@@ -136,16 +194,29 @@ func RunWithGolden(sc *scenario.Scenario, mode sim.Mode, target vm.Device, model
 	for i := range faultAgents {
 		faultAgents[i] = agentPick.Intn(2)
 	}
+	nAgents := mode.Agents()
 	par.ForEach(len(plans), func(i int) {
 		plan := plans[i]
-		res := sim.Run(sim.Config{
+		cfg := sim.Config{
 			Scenario:   sc,
 			Mode:       mode,
-			Seed:       seedBase + 5000 + uint64(i)*104729,
 			Fault:      &plan,
 			FaultAgent: faultAgents[i],
-		})
-		c.Runs[i] = RunRecord{Plan: plan, Result: res}
+		}
+		if model == fi.Transient {
+			// Replay seed: the injection run IS the profiling run plus one
+			// fault, which is what makes its prefix forkable.
+			cfg.Seed = seedBase
+			if cp := forkPoint(cps, prof, faultAgents[i]%nAgents, plan); cp != nil {
+				if res, err := sim.RunFrom(cp, cfg); err == nil {
+					c.Runs[i] = RunRecord{Plan: plan, Result: res}
+					return
+				}
+			}
+		} else {
+			cfg.Seed = seedBase + 5000 + uint64(i)*104729
+		}
+		c.Runs[i] = RunRecord{Plan: plan, Result: sim.Run(cfg)}
 	})
 
 	goldenTraces := make([]*trace.Trace, 0, len(c.Golden))
@@ -154,6 +225,32 @@ func RunWithGolden(sc *scenario.Scenario, mode sim.Mode, target vm.Device, model
 	}
 	c.Baseline = sim.MeanTrajectory(goldenTraces)
 	return c
+}
+
+// forkPoint picks the latest checkpoint whose step is at or before the
+// plan's activation step — the longest shareable fault-free prefix. The
+// activation step comes from the profile's per-step instruction counts;
+// the machine counters bound the writeback DynIndex stream from above,
+// so the mapped step is never later than the true activation step
+// (forking conservatively early is always safe). A plan whose DynIndex
+// exceeds the agent's profiled stream never activates, so its run is
+// golden-equivalent and any checkpoint works: use the latest.
+func forkPoint(cps []*sim.Checkpoint, prof *fi.Profile, agent int, plan fi.Plan) *sim.Checkpoint {
+	if len(cps) == 0 {
+		return nil
+	}
+	step, ok := prof.ActivationStep(agent, plan.Target, plan.DynIndex)
+	if !ok {
+		return cps[len(cps)-1]
+	}
+	var best *sim.Checkpoint
+	for _, cp := range cps {
+		if cp.Step > step {
+			break
+		}
+		best = cp
+	}
+	return best
 }
 
 // Hazard labels one run against the baseline: an accident, or a

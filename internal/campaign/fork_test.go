@@ -1,0 +1,105 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"testing"
+
+	"diverseav/internal/fi"
+	"diverseav/internal/scenario"
+	"diverseav/internal/sim"
+	"diverseav/internal/vm"
+)
+
+// shortLeadSlowdown truncates the scenario so the equivalence sweep
+// stays fast while still crossing several checkpoint intervals.
+func shortLeadSlowdown() *scenario.Scenario {
+	sc := *scenario.LeadSlowdown()
+	sc.Duration = 5 // 200 steps; checkpoints at 50/100/150 with the default interval
+	return &sc
+}
+
+func runHash(t *testing.T, r RunRecord) string {
+	t.Helper()
+	b, err := json.Marshal(r.Result.Trace)
+	if err != nil {
+		t.Fatalf("marshal trace: %v", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// TestForkedCampaignMatchesCold is the campaign-level hard invariant:
+// fork execution is a pure wall-clock optimization. A transient campaign
+// with forking enabled must produce, run for run, byte-identical traces
+// and activation counts to the same campaign with forking disabled
+// (every run cold from step 0).
+func TestForkedCampaignMatchesCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	sc := shortLeadSlowdown()
+	sizes := Sizes{Transient: 8, PermReps: 1, PermStride: 11, Golden: 2, Training: 1}
+	for _, mode := range []sim.Mode{sim.Single, sim.RoundRobin, sim.Duplicate} {
+		mode := mode
+		for _, target := range []vm.Device{vm.CPU, vm.GPU} {
+			target := target
+			t.Run(mode.String()+"/"+target.String(), func(t *testing.T) {
+				forked := RunWithOptions(sc, mode, target, fi.Transient, sizes, 33, nil, Options{})
+				cold := RunWithOptions(sc, mode, target, fi.Transient, sizes, 33, nil, Options{CheckpointEvery: -1})
+				if len(forked.Runs) != len(cold.Runs) {
+					t.Fatalf("run counts differ: %d vs %d", len(forked.Runs), len(cold.Runs))
+				}
+				for i := range forked.Runs {
+					if forked.Runs[i].Plan != cold.Runs[i].Plan {
+						t.Fatalf("run %d: plans differ", i)
+					}
+					if fh, ch := runHash(t, forked.Runs[i]), runHash(t, cold.Runs[i]); fh != ch {
+						t.Errorf("run %d (%s): forked trace %s != cold trace %s",
+							i, forked.Runs[i].Plan, fh, ch)
+					}
+					if fa, ca := forked.Runs[i].Result.Activations, cold.Runs[i].Result.Activations; fa != ca {
+						t.Errorf("run %d: forked activations %d != cold %d", i, fa, ca)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestForkPointSelection pins the bucketing rule: latest checkpoint at
+// or before the activation step; latest checkpoint overall for plans
+// that never activate.
+func TestForkPointSelection(t *testing.T) {
+	var prof fi.Profile
+	// Agent 0 CPU cumulative counts: step 0 → 100, 1 → 200, ... 9 → 1000.
+	for s := 1; s <= 10; s++ {
+		prof.RecordStep(0, uint64(s*100), 0)
+	}
+	cps := []*sim.Checkpoint{{Step: 3}, {Step: 6}, {Step: 9}}
+
+	cases := []struct {
+		dyn  uint64
+		want int // expected checkpoint step; -1 = no checkpoint usable
+	}{
+		{50, -1},  // activates in step 0, before the first checkpoint
+		{350, 3},  // activates in step 3
+		{650, 6},  // activates in step 6
+		{1000, 9}, // activates in the last step
+		{5000, 9}, // beyond the stream: never activates, use the latest
+	}
+	for _, tc := range cases {
+		cp := forkPoint(cps, &prof, 0, fi.Plan{Target: vm.CPU, Model: fi.Transient, DynIndex: tc.dyn})
+		got := -1
+		if cp != nil {
+			got = cp.Step
+		}
+		if got != tc.want {
+			t.Errorf("forkPoint(dyn=%d) = step %d, want %d", tc.dyn, got, tc.want)
+		}
+	}
+	if cp := forkPoint(nil, &prof, 0, fi.Plan{Target: vm.CPU, DynIndex: 350}); cp != nil {
+		t.Error("forkPoint with no checkpoints returned one")
+	}
+}

@@ -85,6 +85,16 @@ func (in *Injector) Plan() Plan { return in.plan }
 // reached) — the paper's "#Active" column.
 func (in *Injector) Activations() uint64 { return in.activations }
 
+// Snapshot captures the injector's activation count for checkpointing.
+func (in *Injector) Snapshot() uint64 { return in.activations }
+
+// Restore sets the activation count from a checkpoint, making the
+// injector fork-safe: a transient injector restored with activations > 0
+// will never fire again (its single shot already happened in the
+// checkpointed prefix), and a permanent injector's #Active accounting
+// continues from the prefix total instead of restarting at zero.
+func (in *Injector) Restore(activations uint64) { in.activations = activations }
+
 // Hook is the vm.FaultHook to install on the target machine.
 func (in *Injector) Hook(ev vm.WriteEvent) uint64 {
 	if ev.Device != in.plan.Target {
@@ -104,13 +114,28 @@ func (in *Injector) Hook(ev vm.WriteEvent) uint64 {
 	return in.plan.Mask()
 }
 
+// MaxAgents is the largest number of agent instances any sim mode runs,
+// sized for the per-agent step-count recording below.
+const MaxAgents = 2
+
 // Profile records, per device, the dynamic instruction stream length and
 // which opcodes actually execute, measured on a golden (fault-free) run.
 // Planners draw transient targets from the stream length so every plan
 // addresses a real instruction, like NVBitFI's profiling pass.
+//
+// StepInstr additionally records, per agent and device, the cumulative
+// dynamic instruction count at the end of every simulation step (the
+// harness feeds it via RecordStep). This is the DynIndex→step map the
+// checkpoint/fork campaign executor needs: a transient plan's activation
+// instant is the step during which the target machine's counter crosses
+// the plan's DynIndex, and a forked run must resume at or before it.
 type Profile struct {
 	InstrCount  [2]uint64              `json:"instr_count"` // indexed by vm.Device
 	OpcodesSeen [2][vm.NumOpcodes]bool `json:"opcodes_seen"`
+	// StepInstr[agent][device][step] is the cumulative count at the end
+	// of that step. Agents that never run (Single mode's agent 1) keep
+	// nil slices.
+	StepInstr [MaxAgents][2][]uint64 `json:"step_instr,omitempty"`
 }
 
 // Observe returns a vm.FaultHook that records the profile without
@@ -121,6 +146,59 @@ func (pr *Profile) Observe() vm.FaultHook {
 		pr.OpcodesSeen[ev.Device][ev.Op] = true
 		return 0
 	}
+}
+
+// RecordStep appends one simulation step's end-of-step cumulative
+// instruction counts for an agent. The harness calls it once per agent
+// per step; counts are the machines' own counters, so they include
+// non-writeback instructions (branches, HALT) and therefore bound the
+// writeback DynIndex stream from above.
+func (pr *Profile) RecordStep(agent int, cpu, gpu uint64) {
+	if agent < 0 || agent >= MaxAgents {
+		return
+	}
+	pr.StepInstr[agent][vm.CPU] = append(pr.StepInstr[agent][vm.CPU], cpu)
+	pr.StepInstr[agent][vm.GPU] = append(pr.StepInstr[agent][vm.GPU], gpu)
+}
+
+// StepCounts returns the per-step instruction deltas for the agent and
+// device (the differences of the cumulative StepInstr sequence). The
+// deltas sum to the final cumulative count.
+func (pr *Profile) StepCounts(agent int, d vm.Device) []uint64 {
+	cum := pr.StepInstr[agent][d]
+	out := make([]uint64, len(cum))
+	prev := uint64(0)
+	for i, c := range cum {
+		out[i] = c - prev
+		prev = c
+	}
+	return out
+}
+
+// ActivationStep returns the simulation step during which the agent's
+// device executes dynamic instruction dyn: the first step whose
+// end-of-step cumulative count reaches dyn. ok is false when the profiled
+// run never executed that many instructions (the plan is inactive) or no
+// steps were recorded for the agent.
+func (pr *Profile) ActivationStep(agent int, d vm.Device, dyn uint64) (step int, ok bool) {
+	if agent < 0 || agent >= MaxAgents || dyn == 0 {
+		return 0, false
+	}
+	cum := pr.StepInstr[agent][d]
+	if n := len(cum); n == 0 || cum[n-1] < dyn {
+		return len(cum), false
+	}
+	// Binary search: first step with cum[step] >= dyn.
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] >= dyn {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, true
 }
 
 // ActiveOpcodes returns the opcodes that execute on the device, the

@@ -76,6 +76,40 @@ func (f *LaneFollower) Step(dt float64) {
 // maximum rate until stationary.
 func (f *LaneFollower) EmergencyBrake() { f.TargetSpeed = 0 }
 
+// FollowerState is a snapshot of a LaneFollower: the vehicle's dynamic
+// state plus the follower's control state. The path is captured by
+// pointer — polylines are immutable after construction, so snapshots
+// restored into many concurrent forks can share one path safely (this
+// also preserves mid-run SwitchPath trajectories, which are built from
+// the vehicle's pose at switch time and could not be regenerated later).
+type FollowerState struct {
+	Vehicle     State
+	Path        *geom.Polyline
+	TargetSpeed float64
+	Lookahead   float64
+	Station     float64
+}
+
+// Snapshot captures the follower's full state.
+func (f *LaneFollower) Snapshot() FollowerState {
+	return FollowerState{
+		Vehicle:     f.Vehicle.State,
+		Path:        f.Path,
+		TargetSpeed: f.TargetSpeed,
+		Lookahead:   f.Lookahead,
+		Station:     f.station,
+	}
+}
+
+// Restore rewinds the follower (and its vehicle) to a snapshot.
+func (f *LaneFollower) Restore(st FollowerState) {
+	f.Vehicle.State = st.Vehicle
+	f.Path = st.Path
+	f.TargetSpeed = st.TargetSpeed
+	f.Lookahead = st.Lookahead
+	f.station = st.Station
+}
+
 // SwitchPath moves the follower onto a new path (e.g., a cut-in
 // trajectory), keeping its world pose.
 func (f *LaneFollower) SwitchPath(p *geom.Polyline) {

@@ -121,3 +121,17 @@ func (r *Rand) Perm(n int) []int {
 
 // Bool returns true with probability p.
 func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// State is a snapshot of a generator's stream position. It is a value:
+// copying it is copying the stream state, so one snapshot can seed any
+// number of restored generators.
+type State [4]uint64
+
+// Snapshot captures the generator's current stream position without
+// advancing it.
+func (r *Rand) Snapshot() State { return r.s }
+
+// Restore rewinds (or fast-forwards) the generator to a snapshot taken
+// from the same or any other generator. Subsequent draws reproduce the
+// draws that followed the snapshot exactly.
+func (r *Rand) Restore(s State) { r.s = s }

@@ -49,16 +49,19 @@ func GhostCutIn() *Scenario {
 		EgoStation:     40,
 		EgoSpeed:       10,
 		Setup: func(env *Env) {
+			// Mutable script progress lives in self.Phase (0 = approaching,
+			// 1 = merged), never in closure variables, so checkpointed runs
+			// can restore it; cutAt is an immutable per-run parameter and is
+			// reproduced by re-instantiating from the seed.
 			cutAt := 7.0 + env.Rand.Range(-0.1, 0.1)
-			merged := false
 			addNPC(env, "cutter", "left", 44, cutinCruise,
 				func(t float64, self *NPC, env *Env) {
 					switch {
-					case !merged && t >= cutAt:
+					case self.Phase == 0 && t >= cutAt:
 						lane, _ := env.Town.Lane("ego")
 						self.Follower.SwitchPath(mergePath(env, self.Follower, lane, 18))
-						merged = true
-					case merged && t >= cutAt+2.5:
+						self.Phase = 1
+					case self.Phase == 1 && t >= cutAt+2.5:
 						// Slow after the cut-in, forcing the ego to react.
 						self.Follower.TargetSpeed = 6.5
 						self.Braking = self.Follower.Vehicle.State.V > self.Follower.TargetSpeed+0.2
@@ -81,30 +84,33 @@ func FrontAccident() *Scenario {
 		EgoStation:     40,
 		EgoSpeed:       10,
 		Setup: func(env *Env) {
+			// The merger's Phase (0 = approaching, 1 = merged, 2 = crashed)
+			// is the shared script state: the lead reads it instead of a
+			// closure flag, so a checkpoint restore reconstructs the
+			// coordination between the two scripts.
 			trigger := 2.0 + env.Rand.Range(-0.15, 0.15)
-			merged := false
-			crashed := false
+			var merger *NPC
 			lead := addNPC(env, "lead", "ego", 72, leadCruise,
 				func(t float64, self *NPC, env *Env) {
-					if crashed {
+					if merger != nil && merger.Phase >= 2 {
 						self.Follower.EmergencyBrake()
 						self.Braking = self.Follower.Vehicle.State.V > 0.05
 					}
 				})
-			addNPC(env, "merger", "left", 58, 13,
+			merger = addNPC(env, "merger", "left", 58, 13,
 				func(t float64, self *NPC, env *Env) {
 					// Merge when drawing level with the lead: an
 					// aggressive, short merge aimed at the lead's flank.
-					if !merged && self.Follower.Station() >= lead.Follower.Station()-trigger {
+					if self.Phase == 0 && self.Follower.Station() >= lead.Follower.Station()-trigger {
 						lane, _ := env.Town.Lane("ego")
 						self.Follower.SwitchPath(mergePath(env, self.Follower, lane, 12))
-						merged = true
+						self.Phase = 1
 					}
-					if merged && !crashed &&
+					if self.Phase == 1 &&
 						physics.Collides(self.Follower.Vehicle, lead.Follower.Vehicle) {
-						crashed = true
+						self.Phase = 2
 					}
-					if crashed {
+					if self.Phase >= 2 {
 						self.Follower.EmergencyBrake()
 						self.Braking = self.Follower.Vehicle.State.V > 0.05
 					}

@@ -10,6 +10,7 @@
 package scenario
 
 import (
+	"fmt"
 	"math"
 
 	"diverseav/internal/geom"
@@ -24,6 +25,12 @@ type NPC struct {
 	// Braking is set by scripts while the NPC is slowing hard; the
 	// rasterizer lights its brake strip.
 	Braking bool
+	// Phase is the script's progress counter (0 = initial). Scripts keep
+	// ALL their mutable state here rather than in closure variables so a
+	// checkpointed environment can be restored: closures rebuilt by
+	// re-instantiating the scenario carry the same immutable parameters
+	// (seeded jitter), and Phase carries the part that evolved mid-run.
+	Phase int
 	// Script advances the NPC's intent at simulation time t. It runs
 	// before the NPC's physics step each frame.
 	Script func(t float64, self *NPC, env *Env)
@@ -86,6 +93,56 @@ func (s *Scenario) Instantiate(seed uint64) *Env {
 		s.Setup(env)
 	}
 	return env
+}
+
+// NPCState is one NPC's snapshot: its follower (vehicle + control
+// state) plus the script-visible flags.
+type NPCState struct {
+	Follower physics.FollowerState
+	Braking  bool
+	Phase    int
+}
+
+// EnvState is a deep snapshot of a live environment's mutable state. It
+// deliberately excludes the scripts themselves (closures are rebuilt by
+// re-instantiating the scenario from the same seed, which reproduces
+// their captured jitter parameters bit-for-bit) and the immutable town
+// and route geometry (shared by pointer).
+type EnvState struct {
+	Ego  physics.State
+	Rand rng.State
+	NPCs []NPCState
+}
+
+// Snapshot captures the environment's mutable state.
+func (e *Env) Snapshot() *EnvState {
+	st := &EnvState{
+		Ego:  e.Ego.State,
+		Rand: e.Rand.Snapshot(),
+		NPCs: make([]NPCState, len(e.NPCs)),
+	}
+	for i, n := range e.NPCs {
+		st.NPCs[i] = NPCState{Follower: n.Follower.Snapshot(), Braking: n.Braking, Phase: n.Phase}
+	}
+	return st
+}
+
+// Restore rewinds a freshly instantiated environment (same scenario,
+// same seed) to a snapshot. The NPC sets must match: checkpointing does
+// not support scripts that add or remove NPCs mid-run, because their
+// scripts could not be rebuilt by re-instantiation.
+func (e *Env) Restore(st *EnvState) error {
+	if len(e.NPCs) != len(st.NPCs) {
+		return fmt.Errorf("scenario: restore: env has %d NPCs, snapshot has %d (mid-run NPC changes are not checkpointable)", len(e.NPCs), len(st.NPCs))
+	}
+	e.Ego.State = st.Ego
+	e.Rand.Restore(st.Rand)
+	for i, n := range e.NPCs {
+		n.Follower.Restore(st.NPCs[i].Follower)
+		n.Braking = st.NPCs[i].Braking
+		n.Phase = st.NPCs[i].Phase
+	}
+	return nil
 }
 
 // addNPC creates an NPC on the given lane.

@@ -47,6 +47,15 @@ func NewIMU(r *rng.Rand) *IMU {
 	}
 }
 
+// Snapshot captures the IMU's noise-stream position. The noise standard
+// deviations are configuration, not state; they are not part of the
+// snapshot.
+func (m *IMU) Snapshot() rng.State { return m.r.Snapshot() }
+
+// Restore rewinds the IMU's noise stream to a snapshot, so subsequent
+// readings reproduce the readings that followed the snapshot exactly.
+func (m *IMU) Restore(s rng.State) { m.r.Restore(s) }
+
 // Read samples the vehicle state.
 func (m *IMU) Read(s physics.State) IMUGPS {
 	return IMUGPS{

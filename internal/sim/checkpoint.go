@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"fmt"
+
+	"diverseav/internal/physics"
+	"diverseav/internal/rng"
+	"diverseav/internal/scenario"
+	"diverseav/internal/trace"
+	"diverseav/internal/vm"
+)
+
+// Checkpoint is a deep snapshot of a run's full mutable state at the top
+// of a step (before the step executes), sufficient to resume the closed
+// loop bit-for-bit. A checkpoint is taken by a golden pass configured
+// with Config.CheckpointEvery and consumed by RunFrom, which replays
+// only the suffix — the paper's injection campaigns spend most of their
+// wall clock re-simulating the identical fault-free prefix of every
+// transient run, and this is the NVBitFI-style profile-once/fork-late
+// fix.
+//
+// What is captured: scenario state (ego + NPC followers, script Phase
+// flags, the scenario RNG), the IMU and duplicate-jitter RNG streams,
+// every agent machine (memory, register files, dynamic instruction
+// counters), injector activation counts, the control/fusion latches,
+// the ego route-projection cursor, and the trace prefix.
+//
+// What is deliberately NOT captured: camera frames and render scratch
+// (every pixel is rewritten each step before use), compiled agent
+// programs and raster LUTs (immutable), towns/routes/polylines (shared
+// read-only, including mid-run merge paths, which FollowerState keeps
+// by pointer), and fault hooks (run configuration, re-wired by
+// newRunner).
+//
+// A checkpoint is read-only after creation: RunFrom restores by copy,
+// so any number of forks — including parallel ones — can share it.
+type Checkpoint struct {
+	// Identity of the run that produced the snapshot. RunFrom refuses a
+	// config that disagrees: the restored state is only meaningful under
+	// the exact same scenario, seed, and distribution settings.
+	Scenario       string
+	Mode           Mode
+	Seed           uint64
+	Overlap        float64
+	SensorNoiseStd float64
+
+	// Step is the simulation step the snapshot was taken at (the resumed
+	// loop executes steps [Step, total)).
+	Step int
+
+	Env         *scenario.EnvState
+	IMU         rng.State
+	Jitter      rng.State
+	Agents      []*vm.MachineState
+	Activations []uint64
+
+	// Loop-carried latches.
+	Applied   physics.Controls
+	AppliedBy int
+	LastFrame [2]int
+	EgoSt     float64
+
+	// Trace is the recorded prefix (steps [0, Step)). Only its Steps and
+	// EndStep are restored; the fork keeps its own metadata (Fault
+	// string, Outcome) from its config.
+	Trace *trace.Trace
+}
+
+// snapshot deep-copies the runner's mutable state at the top of `step`.
+func (r *runner) snapshot(step int) *Checkpoint {
+	cp := &Checkpoint{
+		Scenario:       r.cfg.Scenario.Name,
+		Mode:           r.cfg.Mode,
+		Seed:           r.cfg.Seed,
+		Overlap:        r.cfg.Overlap,
+		SensorNoiseStd: r.cfg.SensorNoiseStd,
+		Step:           step,
+		Env:            r.env.Snapshot(),
+		IMU:            r.imu.Snapshot(),
+		Jitter:         r.jitter.Snapshot(),
+		Agents:         make([]*vm.MachineState, len(r.agents)),
+		Activations:    make([]uint64, len(r.injectors)),
+		Applied:        r.applied,
+		AppliedBy:      r.appliedBy,
+		LastFrame:      r.lastFrame,
+		EgoSt:          r.egoSt,
+		Trace:          r.tr.Snapshot(),
+	}
+	for i, ag := range r.agents {
+		cp.Agents[i] = ag.Snapshot()
+	}
+	for i, inj := range r.injectors {
+		cp.Activations[i] = inj.Snapshot()
+	}
+	return cp
+}
+
+// restore overwrites a freshly constructed runner's mutable state from
+// the checkpoint. The runner must have been built from a config that
+// matches the checkpoint's identity (RunFrom validates this).
+func (r *runner) restore(cp *Checkpoint) error {
+	if err := r.env.Restore(cp.Env); err != nil {
+		return err
+	}
+	if len(cp.Agents) != len(r.agents) {
+		return fmt.Errorf("sim: restore: checkpoint has %d agents, run has %d", len(cp.Agents), len(r.agents))
+	}
+	for i, ag := range r.agents {
+		ag.Restore(cp.Agents[i])
+	}
+	// An injection fork typically has injectors the golden pass did not
+	// (cp.Activations empty → every injector keeps zero, correct for a
+	// fault that has not fired in the fault-free prefix); a checkpointed
+	// faulty run restores its own counts positionally.
+	for i, inj := range r.injectors {
+		if i < len(cp.Activations) {
+			inj.Restore(cp.Activations[i])
+		}
+	}
+	r.imu.Restore(cp.IMU)
+	r.jitter.Restore(cp.Jitter)
+	r.applied = cp.Applied
+	r.appliedBy = cp.AppliedBy
+	r.lastFrame = cp.LastFrame
+	r.egoSt = cp.EgoSt
+	r.tr.Steps = append(r.tr.Steps[:0], cp.Trace.Steps...)
+	r.tr.EndStep = cp.Trace.EndStep
+	return nil
+}
+
+// RunFrom resumes an experiment from a checkpoint, executing only steps
+// [cp.Step, end). The hard invariant — covered by the fork-equivalence
+// tests — is that the result's trace is byte-identical to Run(cfg)
+// executed from scratch, for any cfg whose fault does not act before
+// cp.Step.
+//
+// cfg must agree with the checkpoint on scenario, mode, seed, overlap,
+// and sensor noise; it may differ in fault configuration, which is what
+// makes forking useful: one golden checkpointed pass serves every
+// injection run whose fault activates after the checkpoint.
+func RunFrom(cp *Checkpoint, cfg Config) (*Result, error) {
+	switch {
+	case cfg.Scenario == nil || cfg.Scenario.Name != cp.Scenario:
+		return nil, fmt.Errorf("sim: RunFrom: scenario mismatch (checkpoint %q)", cp.Scenario)
+	case cfg.Mode != cp.Mode:
+		return nil, fmt.Errorf("sim: RunFrom: mode mismatch (checkpoint %v, config %v)", cp.Mode, cfg.Mode)
+	case cfg.Seed != cp.Seed:
+		return nil, fmt.Errorf("sim: RunFrom: seed mismatch (checkpoint %d, config %d)", cp.Seed, cfg.Seed)
+	case cfg.Overlap != cp.Overlap:
+		return nil, fmt.Errorf("sim: RunFrom: overlap mismatch (checkpoint %v, config %v)", cp.Overlap, cfg.Overlap)
+	case cfg.SensorNoiseStd != cp.SensorNoiseStd:
+		return nil, fmt.Errorf("sim: RunFrom: sensor noise mismatch (checkpoint %v, config %v)", cp.SensorNoiseStd, cfg.SensorNoiseStd)
+	case cfg.Profile != nil:
+		// A profile must observe the whole instruction stream; a fork
+		// skips the prefix, so its profile would be silently partial.
+		return nil, fmt.Errorf("sim: RunFrom: profiling requires a cold run")
+	case cfg.MemFault != nil && cfg.MemFault.Step < cp.Step:
+		return nil, fmt.Errorf("sim: RunFrom: memory fault at step %d precedes checkpoint step %d", cfg.MemFault.Step, cp.Step)
+	}
+	r := newRunner(cfg)
+	if err := r.restore(cp); err != nil {
+		return nil, err
+	}
+	return r.run(cp.Step), nil
+}

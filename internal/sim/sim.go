@@ -96,6 +96,13 @@ type Config struct {
 	// are disjoint buffers); the determinism regression tests use this
 	// to pin the parallel path to the sequential one.
 	SerialRender bool
+	// CheckpointEvery, when > 0, snapshots the full closed-loop state
+	// every CheckpointEvery steps (at the top of the step, before it
+	// executes) into Result.Checkpoints. A checkpointed golden pass costs
+	// a state copy per checkpoint (~0.5 MB at two agents); injection
+	// campaigns fork from the checkpoints via RunFrom instead of
+	// re-simulating the shared fault-free prefix.
+	CheckpointEvery int
 }
 
 // MemFault is a single uncorrected memory bit flip (ECC-off model).
@@ -107,24 +114,71 @@ type MemFault struct {
 }
 
 // Result is the run outcome: the full trace plus fault activation
-// bookkeeping.
+// bookkeeping, and — when the run was configured with CheckpointEvery —
+// the emitted checkpoints, in step order.
 type Result struct {
 	Trace       *trace.Trace
 	Activations uint64
+	Checkpoints []*Checkpoint
+}
+
+// runner is one experiment's live state: everything the closed loop
+// mutates while stepping, plus the reused render and collision scratch.
+// Splitting setup (newRunner), stepping (run), and state capture
+// (snapshot/restore) is what makes checkpoint/fork execution possible:
+// RunFrom builds a runner the ordinary way — re-instantiating the
+// scenario rebuilds the NPC script closures with their seeded immutable
+// parameters — then overwrites every piece of mutable state from the
+// checkpoint and resumes the loop mid-run.
+type runner struct {
+	cfg       Config
+	env       *scenario.Env
+	imu       *sensor.IMU
+	jitter    *rng.Rand
+	agents    []*agent.Agent
+	injectors []*fi.Injector
+	tr        *trace.Trace
+	steps     int
+
+	// Loop-carried state (checkpointed).
+	applied   physics.Controls
+	appliedBy int
+	// lastFrame tracks when each agent last received data, for its
+	// effective sensing period (varies under partial overlap).
+	lastFrame [2]int
+	// egoSt is the route-projection cursor hint for the ego.
+	egoSt float64
+
+	// Per-run scratch, reused every step so the hot loop allocates
+	// nothing: the scene (with its obstacle and stop-bar slices), the
+	// camera frame buffers, and the NPC vehicle list for collision/CVIP
+	// checks. None of it is checkpointed: every field is fully rewritten
+	// each step before use.
+	frames      [3]sensor.Frame
+	scene       *sensor.Scene
+	vehicles    []*physics.Vehicle
+	checkpoints []*Checkpoint
 }
 
 // Run executes one experiment synchronously and returns its result.
 func Run(cfg Config) *Result {
-	env := cfg.Scenario.Instantiate(cfg.Seed)
+	return newRunner(cfg).run(0)
+}
+
+// newRunner instantiates the scenario and wires sensors, agents, fault
+// hooks, the trace, and the reusable scratch for one run.
+func newRunner(cfg Config) *runner {
+	r := &runner{cfg: cfg}
+	r.env = cfg.Scenario.Instantiate(cfg.Seed)
 	root := rng.New(cfg.Seed)
-	imu := sensor.NewIMU(root.Split("imu"))
-	jitter := root.Split("agent-jitter")
+	r.imu = sensor.NewIMU(root.Split("imu"))
+	r.jitter = root.Split("agent-jitter")
 
 	nAgents := cfg.Mode.Agents()
-	agents := make([]*agent.Agent, nAgents)
-	injectors := make([]*fi.Injector, 0, nAgents)
-	for i := range agents {
-		agents[i] = agent.New(agentName(i))
+	r.agents = make([]*agent.Agent, nAgents)
+	r.injectors = make([]*fi.Injector, 0, nAgents)
+	for i := range r.agents {
+		r.agents[i] = agent.New(agentName(i))
 		switch {
 		case cfg.Fault != nil:
 			// A transient fault strikes one process. A permanent fault
@@ -135,11 +189,11 @@ func Run(cfg Config) *Result {
 			shared := cfg.Fault.Model == fi.Permanent && cfg.Mode != Duplicate
 			if shared || i == cfg.FaultAgent%nAgents {
 				inj := fi.NewInjector(*cfg.Fault)
-				agents[i].Machine().SetFaultHook(inj.Hook)
-				injectors = append(injectors, inj)
+				r.agents[i].Machine().SetFaultHook(inj.Hook)
+				r.injectors = append(r.injectors, inj)
 			}
 		case cfg.Profile != nil && i == 0:
-			agents[i].Machine().SetFaultHook(cfg.Profile.Observe())
+			r.agents[i].Machine().SetFaultHook(cfg.Profile.Observe())
 		}
 	}
 
@@ -148,7 +202,7 @@ func Run(cfg Config) *Result {
 		noiseStd = cfg.SensorNoiseStd
 	}
 
-	tr := &trace.Trace{
+	r.tr = &trace.Trace{
 		Scenario: cfg.Scenario.Name,
 		Mode:     cfg.Mode.String(),
 		Seed:     cfg.Seed,
@@ -156,40 +210,44 @@ func Run(cfg Config) *Result {
 		Outcome:  trace.OutcomeCompleted,
 	}
 	if cfg.Fault != nil {
-		tr.Fault = cfg.Fault.String()
+		r.tr.Fault = cfg.Fault.String()
 	}
 
-	steps := int(cfg.Scenario.Duration * Hz)
-	dt := 1.0 / Hz
-	var applied physics.Controls
-	appliedBy := -1
-	// lastFrame tracks when each agent last received data, for its
-	// effective sensing period (varies under partial overlap).
-	lastFrame := [2]int{-1, -1}
-	frames := [3]sensor.Frame{sensor.NewFrame(), sensor.NewFrame(), sensor.NewFrame()}
-	tr.Steps = make([]trace.Step, 0, steps)
+	r.steps = int(cfg.Scenario.Duration * Hz)
+	r.appliedBy = -1
+	r.lastFrame = [2]int{-1, -1}
+	r.frames = [3]sensor.Frame{sensor.NewFrame(), sensor.NewFrame(), sensor.NewFrame()}
+	r.tr.Steps = make([]trace.Step, 0, r.steps)
 
-	// Per-run scratch, reused every step so the hot loop allocates
-	// nothing: the scene (with its obstacle and stop-bar slices), the
-	// camera render fan-out closures, the ego projection hint, and the
-	// NPC vehicle list for collision/CVIP checks.
-	scene := &sensor.Scene{
-		Route:             env.Route.Path,
+	r.scene = &sensor.Scene{
+		Route:             r.env.Route.Path,
 		RouteCenterOffset: 1.75,
 		RoadHalfWidth:     3.5,
 		LaneMarkOffsets:   laneMarkOffsets,
-		Obstacles:         make([]sensor.RenderObstacle, 0, len(env.NPCs)),
+		Obstacles:         make([]sensor.RenderObstacle, 0, len(r.env.NPCs)),
 		StopBars:          make([]sensor.StopBar, 0, 1),
 		NoiseSeed:         cfg.Seed,
 		NoiseStd:          noiseStd,
 	}
-	renderCam := func(i int) {
-		sensor.Render(renderOrder[i], scene, frames[i])
-	}
-	egoSt, _ := env.Route.Path.Project(env.Ego.State.Pose.Pos)
-	vehicles := make([]*physics.Vehicle, 0, len(env.NPCs))
+	r.egoSt, _ = r.env.Route.Path.Project(r.env.Ego.State.Pose.Pos)
+	r.vehicles = make([]*physics.Vehicle, 0, len(r.env.NPCs))
+	return r
+}
 
-	for step := 0; step < steps; step++ {
+// run executes the closed loop from step `start` (0 for a cold run, the
+// checkpoint's step for a fork) to the end of the scenario.
+func (r *runner) run(start int) *Result {
+	cfg, env, tr := r.cfg, r.env, r.tr
+	nAgents := len(r.agents)
+	dt := 1.0 / Hz
+	renderCam := func(i int) {
+		sensor.Render(renderOrder[i], r.scene, r.frames[i])
+	}
+
+	for step := start; step < r.steps; step++ {
+		if cfg.CheckpointEvery > 0 && step > start && step%cfg.CheckpointEvery == 0 {
+			r.checkpoints = append(r.checkpoints, r.snapshot(step))
+		}
 		t := float64(step) * dt
 
 		// NPC intent and physics.
@@ -201,9 +259,9 @@ func Run(cfg Config) *Result {
 		}
 
 		// Sensing.
-		st0, _ := env.Route.Path.ProjectNear(env.Ego.State.Pose.Pos, egoSt, egoProjectWindow)
-		egoSt = st0
-		updateScene(scene, env, st0, t, step)
+		st0, _ := env.Route.Path.ProjectNear(env.Ego.State.Pose.Pos, r.egoSt, egoProjectWindow)
+		r.egoSt = st0
+		updateScene(r.scene, env, st0, t, step)
 		if cfg.SerialRender {
 			renderCam(0)
 			renderCam(1)
@@ -211,15 +269,15 @@ func Run(cfg Config) *Result {
 		} else {
 			par.ForEach(3, renderCam)
 		}
-		reading := imu.Read(env.Ego.State)
+		reading := r.imu.Read(env.Ego.State)
 		limit := env.Route.LimitAt(st0)
 		if cfg.StepHook != nil {
-			cfg.StepHook(step, env, &frames)
+			cfg.StepHook(step, env, &r.frames)
 		}
 
 		// ECC-off memory fault (§VIII extension).
 		if mf := cfg.MemFault; mf != nil && step == mf.Step {
-			mem := agents[mf.Agent%nAgents].Machine().Mem()
+			mem := r.agents[mf.Agent%nAgents].Machine().Mem()
 			addr := mf.Addr
 			if addr < 0 {
 				addr = 0
@@ -232,30 +290,29 @@ func Run(cfg Config) *Result {
 
 		// Distribution, agent execution, fusion.
 		var cmds [2]trace.Cmd
-		for id, ag := range agents {
+		for id, ag := range r.agents {
 			if !receives(cfg.Mode, cfg.Overlap, id, step) {
 				continue
 			}
 			in := agent.Input{
-				Center: frames[0], Left: frames[1], Right: frames[2],
+				Center: r.frames[0], Left: r.frames[1], Right: r.frames[2],
 				Speed:      float64(reading.Speed),
-				Dt:         float64(step-lastFrame[id]) / Hz,
+				Dt:         float64(step-r.lastFrame[id]) / Hz,
 				SpeedLimit: limit,
 				FrameIndex: step,
 			}
-			lastFrame[id] = step
+			r.lastFrame[id] = step
 			if cfg.Mode == Duplicate {
 				// The FD baseline's agents sample their sensors
 				// independently; this per-agent measurement jitter stands
 				// in for the inherent software/hardware non-determinism
 				// the paper observes between loosely-coupled replicas.
-				in.Speed += jitter.NormScaled(0, 0.03)
+				in.Speed += r.jitter.NormScaled(0, 0.03)
 			}
 			out, err := ag.Step(&in)
 			if err != nil {
 				finishDUE(tr, env, step, err)
-				recordInstr(tr, agents)
-				return &Result{Trace: tr, Activations: totalActivations(injectors)}
+				return r.finish()
 			}
 			cmds[id] = trace.Cmd{
 				Valid:        true,
@@ -265,17 +322,26 @@ func Run(cfg Config) *Result {
 				ObstacleDist: out.ObstacleDist,
 			}
 			if fusionDrives(cfg.Mode, id, step) {
-				applied = out.Controls
-				appliedBy = id
+				r.applied = out.Controls
+				r.appliedBy = id
+			}
+		}
+
+		// Profiling: record each agent's end-of-step cumulative
+		// instruction counts, the DynIndex→step map used to pick fork
+		// points for transient plans.
+		if cfg.Profile != nil {
+			for i, ag := range r.agents {
+				cfg.Profile.RecordStep(i, ag.Machine().InstrCount(vm.CPU), ag.Machine().InstrCount(vm.GPU))
 			}
 		}
 
 		// Actuation and kinematics.
-		env.Ego.Step(applied, dt)
+		env.Ego.Step(r.applied, dt)
 
 		// Record.
-		vehicles = npcVehicles(env, vehicles)
-		cvip, ok := physics.CVIP(env.Ego, vehicles, 2.2, 80)
+		r.vehicles = npcVehicles(env, r.vehicles)
+		cvip, ok := physics.CVIP(env.Ego, r.vehicles, 2.2, 80)
 		if !ok {
 			cvip = -1
 		}
@@ -284,8 +350,8 @@ func Run(cfg Config) *Result {
 			T: t,
 			X: s.Pose.Pos.X, Y: s.Pose.Pos.Y, Z: 0,
 			V: s.V, A: s.A, Omega: s.Omega, AlphaDot: s.AlphaDot,
-			Throttle: applied.Throttle, Brake: applied.Brake, Steer: applied.Steer,
-			AgentID: appliedBy,
+			Throttle: r.applied.Throttle, Brake: r.applied.Brake, Steer: r.applied.Steer,
+			AgentID: r.appliedBy,
 			Cmd:     cmds,
 			CVIP:    cvip,
 		})
@@ -296,14 +362,18 @@ func Run(cfg Config) *Result {
 			if physics.Collides(env.Ego, n.Follower.Vehicle) {
 				tr.Outcome = trace.OutcomeCollision
 				tr.CollisionStep = step
-				recordInstr(tr, agents)
-				return &Result{Trace: tr, Activations: totalActivations(injectors)}
+				return r.finish()
 			}
 		}
 	}
 
-	recordInstr(tr, agents)
-	return &Result{Trace: tr, Activations: totalActivations(injectors)}
+	return r.finish()
+}
+
+// finish assembles the Result from the runner's final state.
+func (r *runner) finish() *Result {
+	recordInstr(r.tr, r.agents)
+	return &Result{Trace: r.tr, Activations: totalActivations(r.injectors), Checkpoints: r.checkpoints}
 }
 
 func agentName(i int) string {

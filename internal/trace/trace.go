@@ -79,6 +79,15 @@ type Trace struct {
 	Steps []Step `json:"steps"`
 }
 
+// Snapshot returns a deep copy of the trace as recorded so far. The
+// steps slice is copied, never aliased, so a checkpointed prefix can be
+// extended independently by any number of forked runs.
+func (tr *Trace) Snapshot() *Trace {
+	cp := *tr
+	cp.Steps = append([]Step(nil), tr.Steps...)
+	return &cp
+}
+
 // Duration returns the simulated length of the trace in seconds.
 func (tr *Trace) Duration() float64 {
 	return float64(len(tr.Steps)) / tr.Hz

@@ -1,0 +1,50 @@
+package vm
+
+// RegFile is the architectural state of one device: its float and int
+// register files and its cumulative dynamic instruction counter. The
+// counter is part of the snapshot because transient fault plans address
+// instructions by cumulative dynamic index — a restored machine must keep
+// counting from where the snapshot was taken, or forked injection runs
+// would strike the wrong instruction.
+type RegFile struct {
+	F     [NumFloatRegs]float64
+	R     [NumIntRegs]int64
+	Count uint64
+}
+
+// MachineState is a deep snapshot of a Machine: data memory plus both
+// devices' register files and counters. It shares nothing with the
+// machine it was taken from, so one snapshot can restore any number of
+// machines concurrently (the checkpoint/fork execution model).
+type MachineState struct {
+	Mem []float64
+	Dev [2]RegFile
+}
+
+// Snapshot captures the machine's full architectural state. The fault
+// hook is deliberately not part of the snapshot: hooks belong to the run
+// configuration (injector, profiler), not to the machine state, and a
+// forked run installs its own.
+func (m *Machine) Snapshot() *MachineState {
+	st := &MachineState{Mem: append([]float64(nil), m.mem...)}
+	for d := range m.dev {
+		st.Dev[d] = RegFile{F: m.dev[d].f, R: m.dev[d].r, Count: m.dev[d].count}
+	}
+	return st
+}
+
+// Restore rewrites the machine's architectural state from a snapshot.
+// The snapshot is copied, never aliased, so many goroutines may restore
+// from the same MachineState concurrently.
+func (m *Machine) Restore(st *MachineState) {
+	if len(m.mem) == len(st.Mem) {
+		copy(m.mem, st.Mem)
+	} else {
+		m.mem = append([]float64(nil), st.Mem...)
+	}
+	for d := range m.dev {
+		m.dev[d].f = st.Dev[d].F
+		m.dev[d].r = st.Dev[d].R
+		m.dev[d].count = st.Dev[d].Count
+	}
+}

@@ -1,0 +1,121 @@
+package vm
+
+import (
+	"testing"
+)
+
+// chaosProgram builds a program whose state (registers, memory, counter)
+// depends on its own prior state, so replays from different starting
+// states diverge visibly: it loads mem[0], mixes it through float and int
+// pipelines, and stores the result back.
+func chaosProgram() *Program {
+	b := NewBuilder("chaos")
+	b.IMovI(0, 0)
+	b.Ld(0, 0, 0)     // f0 = mem[0]
+	b.FMovI(1, 1.5)   //
+	b.FMA(2, 0, 1, 0) // f2 = f0*1.5 + f0
+	b.FSqrt(3, 2)     //
+	b.FAdd(0, 2, 3)   //
+	b.FToI(5, 0)      // r5 = int(f0)
+	b.IAddI(5, 5, 3)  //
+	b.IToF(4, 5)      //
+	b.FAdd(0, 0, 4)   //
+	b.St(0, 0, 0)     // mem[0] = f0
+	b.Halt()
+	return b.MustBuild()
+}
+
+func runBoth(t *testing.T, m *Machine, p *Program, times int) {
+	t.Helper()
+	for i := 0; i < times; i++ {
+		if err := m.Run(CPU, p, budget); err != nil {
+			t.Fatalf("CPU run: %v", err)
+		}
+		if err := m.Run(GPU, p, budget); err != nil {
+			t.Fatalf("GPU run: %v", err)
+		}
+	}
+}
+
+// TestMachineSnapshotRestoreRoundTrip is the core checkpoint invariant:
+// snapshot a machine mid-computation, keep executing, restore, and the
+// re-execution must reproduce memory, registers, and dynamic instruction
+// counters bit-for-bit.
+func TestMachineSnapshotRestoreRoundTrip(t *testing.T) {
+	p := chaosProgram()
+	m := NewMachine(8)
+	m.Mem()[0] = 0.75
+	runBoth(t, m, p, 3)
+
+	st := m.Snapshot()
+	runBoth(t, m, p, 5)
+	wantMem := append([]float64(nil), m.Mem()...)
+	wantF := m.Float(GPU, 0)
+	wantR := m.Int(CPU, 5)
+	wantCountCPU, wantCountGPU := m.InstrCount(CPU), m.InstrCount(GPU)
+
+	m.Restore(st)
+	if m.InstrCount(CPU) == wantCountCPU {
+		t.Fatal("restore did not rewind the CPU instruction counter")
+	}
+	runBoth(t, m, p, 5)
+	for i, w := range wantMem {
+		if m.Mem()[i] != w {
+			t.Fatalf("mem[%d] = %v after replay, want %v", i, m.Mem()[i], w)
+		}
+	}
+	if m.Float(GPU, 0) != wantF || m.Int(CPU, 5) != wantR {
+		t.Fatal("register state diverged after restore+replay")
+	}
+	if m.InstrCount(CPU) != wantCountCPU || m.InstrCount(GPU) != wantCountGPU {
+		t.Fatalf("instruction counters diverged: CPU %d/%d GPU %d/%d",
+			m.InstrCount(CPU), wantCountCPU, m.InstrCount(GPU), wantCountGPU)
+	}
+}
+
+// TestMachineSnapshotIsDeepCopy pins that a snapshot shares nothing with
+// its machine and that Restore copies rather than aliases, so concurrent
+// forks from one snapshot cannot race.
+func TestMachineSnapshotIsDeepCopy(t *testing.T) {
+	m := NewMachine(4)
+	m.Mem()[2] = 42
+	st := m.Snapshot()
+	m.Mem()[2] = -1
+	if st.Mem[2] != 42 {
+		t.Fatal("snapshot memory aliases the machine")
+	}
+
+	m2 := NewMachine(4)
+	m2.Restore(st)
+	m2.Mem()[2] = 7
+	if st.Mem[2] != 42 {
+		t.Fatal("Restore aliased the snapshot memory")
+	}
+
+	// Restoring into a machine with a different memory size adopts the
+	// snapshot's size.
+	m3 := NewMachine(2)
+	m3.Restore(st)
+	if m3.MemSize() != 4 || m3.Mem()[2] != 42 {
+		t.Fatalf("size-mismatched restore: size=%d mem[2]=%v", m3.MemSize(), m3.Mem()[2])
+	}
+}
+
+// TestSnapshotRestoreAcrossMachines forks one mid-run state into two
+// machines and checks they evolve identically and independently.
+func TestSnapshotRestoreAcrossMachines(t *testing.T) {
+	p := chaosProgram()
+	src := NewMachine(8)
+	src.Mem()[0] = 2.25
+	runBoth(t, src, p, 4)
+	st := src.Snapshot()
+
+	a, b := NewMachine(8), NewMachine(8)
+	a.Restore(st)
+	b.Restore(st)
+	runBoth(t, a, p, 6)
+	runBoth(t, b, p, 6)
+	if a.Mem()[0] != b.Mem()[0] || a.InstrCount(CPU) != b.InstrCount(CPU) {
+		t.Fatal("two machines restored from one snapshot diverged")
+	}
+}

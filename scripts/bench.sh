@@ -1,7 +1,9 @@
 #!/bin/sh
 # Runs the hot-path benchmark suite and writes BENCH_<date>.json into the
-# repo root. Pass -benchtime 3x for a quick run; all flags are forwarded
-# to cmd/bench.
+# repo root. Before overwriting, the suite diffs steps/s (and ns/op)
+# against the newest existing BENCH_*.json so regressions and wins are
+# visible in the run output. Pass -benchtime 3x for a quick run; all
+# flags are forwarded to cmd/bench.
 set -e
 cd "$(dirname "$0")/.."
 exec go run ./cmd/bench "$@"
