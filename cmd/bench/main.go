@@ -7,6 +7,11 @@
 // Usage:
 //
 //	go run ./cmd/bench [-o BENCH_2006-01-02.json] [-benchtime 3x]
+//	                   [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -cpuprofile profiles the whole benchmark suite; -memprofile writes a
+// heap profile after the last benchmark (post-GC, so it shows retained
+// memory, not transient garbage). Inspect with `go tool pprof`.
 package main
 
 import (
@@ -17,10 +22,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"testing"
 	"time"
 
+	"diverseav/internal/agent"
 	"diverseav/internal/campaign"
 	"diverseav/internal/fi"
 	"diverseav/internal/geom"
@@ -50,8 +57,8 @@ type Report struct {
 	Entries    []Entry `json:"entries"`
 }
 
-func benchSimRun(mode sim.Mode, serial bool) (func(b *testing.B), int) {
-	cfg := sim.Config{Scenario: scenario.LeadSlowdown(), Mode: mode, Seed: 3, SerialRender: serial}
+func benchSimRun(mode sim.Mode, serial, tier0 bool) (func(b *testing.B), int) {
+	cfg := sim.Config{Scenario: scenario.LeadSlowdown(), Mode: mode, Seed: 3, SerialRender: serial, ForceVMTier0: tier0}
 	steps := len(sim.Run(cfg).Trace.Steps)
 	return func(b *testing.B) {
 		b.ReportAllocs()
@@ -76,6 +83,12 @@ func benchCampaignTransient(opts campaign.Options, stepsOut *int) func(b *testin
 	golden := campaign.Golden(sc, sim.RoundRobin, 1, 1033)
 	return func(b *testing.B) {
 		b.ReportAllocs()
+		if opts.CheckpointEvery >= 0 {
+			// Warm the checkpoint pool so the measurement reflects the
+			// steady state of a long campaign (recycled snapshot buffers),
+			// not the first pass's pool misses.
+			campaign.RunWithOptions(sc, sim.RoundRobin, vm.GPU, fi.Transient, sizes, 33, golden, opts)
+		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			c := campaign.RunWithOptions(sc, sim.RoundRobin, vm.GPU, fi.Transient, sizes, 33, golden, opts)
@@ -84,6 +97,32 @@ func benchCampaignTransient(opts campaign.Options, stepsOut *int) func(b *testin
 				total += len(r.Result.Trace.Steps)
 			}
 			*stepsOut = total
+		}
+	}
+}
+
+// benchAgentFrame measures one full agent pipeline step (CPU marshal-in
+// → GPU vision/control → CPU marshal-out, ~130k dynamic instructions)
+// pinned to a VM tier. The tier-1/tier-0 ns/op ratio is the fused-kernel
+// speedup with everything else (marshalling, output decode) held equal.
+func benchAgentFrame(tier int) func(b *testing.B) {
+	center, left, right := sensor.NewFrame(), sensor.NewFrame(), sensor.NewFrame()
+	for i := range center {
+		center[i] = byte(i * 31)
+		left[i] = byte(i*17 + 5)
+		right[i] = byte(i*13 + 9)
+	}
+	ag := agent.New("bench")
+	ag.Machine().SetMaxTier(tier)
+	in := &agent.Input{Center: center, Left: left, Right: right, Speed: 12, Dt: 0.05, SpeedLimit: 20}
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			in.FrameIndex = i
+			if _, err := ag.Step(in); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }
@@ -201,6 +240,8 @@ func main() {
 	testing.Init() // register -test.* so testing.Benchmark works under `go run`
 	out := flag.String("o", "", "output path (default BENCH_<date>.json)")
 	benchtime := flag.String("benchtime", "", "benchtime for the benchmarks, e.g. 3x (default: testing's 1s)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole suite to this file")
+	memprofile := flag.String("memprofile", "", "write a post-suite heap profile to this file")
 	flag.Parse()
 	if *benchtime != "" {
 		// testing.Benchmark honors the -test.benchtime flag.
@@ -247,12 +288,30 @@ func main() {
 
 	fmt.Printf("diverseav bench: %s, GOMAXPROCS=%d\n", rep.GoVersion, rep.GOMAXPROCS)
 
-	fn, steps := benchSimRun(sim.RoundRobin, false)
+	var cpuF *os.File
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		cpuF = f
+	}
+
+	fn, steps := benchSimRun(sim.RoundRobin, false, false)
 	add("sim-run/roundrobin", testing.Benchmark(fn), steps)
-	fn, steps = benchSimRun(sim.RoundRobin, true)
+	fn, steps = benchSimRun(sim.RoundRobin, true, false)
 	add("sim-run/roundrobin-serial", testing.Benchmark(fn), steps)
-	fn, steps = benchSimRun(sim.Duplicate, false)
+	fn, steps = benchSimRun(sim.Duplicate, false, false)
 	add("sim-run/duplicate", testing.Benchmark(fn), steps)
+	fn, steps = benchSimRun(sim.Duplicate, false, true)
+	add("sim-run/duplicate-tier0", testing.Benchmark(fn), steps)
+	add("vm/agent-frame-tier1", testing.Benchmark(benchAgentFrame(1)), 0)
+	add("vm/agent-frame-tier0", testing.Benchmark(benchAgentFrame(0)), 0)
 	var cpSteps int
 	cpFn := benchRunFromCheckpoint(&cpSteps)
 	add("sim-run-from-checkpoint", testing.Benchmark(cpFn), cpSteps)
@@ -266,6 +325,26 @@ func main() {
 	add("render/center-camera", testing.Benchmark(benchRender), 0)
 	add("geom/project-full", testing.Benchmark(benchProject), 0)
 	add("geom/project-near", testing.Benchmark(benchProjectNear), 0)
+
+	if cpuF != nil {
+		pprof.StopCPUProfile()
+		cpuF.Close()
+		fmt.Println("wrote CPU profile", *cpuprofile)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Println("wrote heap profile", *memprofile)
+	}
 
 	diffReports(prev, prevPath, rep)
 

@@ -113,10 +113,25 @@ func (a *Agent) initMemory() {
 // accounting).
 func (a *Agent) Machine() *vm.Machine { return a.mach }
 
+// Programs returns the agent's three compiled programs in pipeline
+// order (CPU marshal-in, GPU vision/control, CPU marshal-out), with the
+// devices and step budgets Step uses for them. Differential tests use
+// this to drive the exact production program × device × budget matrix.
+func (a *Agent) Programs() (progs [3]*vm.Program, devs [3]vm.Device, budgets [3]uint64) {
+	progs = [3]*vm.Program{a.cpuIn, a.gpu, a.cpuOut}
+	devs = [3]vm.Device{vm.CPU, vm.GPU, vm.CPU}
+	budgets = [3]uint64{budgetCPUIn, budgetGPU, budgetCPUOut}
+	return
+}
+
 // Snapshot captures the agent's full mutable state. An agent's state
 // lives entirely in its machine (memory, registers, instruction
 // counters); the compiled programs are immutable and shared.
 func (a *Agent) Snapshot() *vm.MachineState { return a.mach.Snapshot() }
+
+// SnapshotInto is Snapshot reusing dst's buffers (nil dst allocates);
+// see vm.Machine.SnapshotInto.
+func (a *Agent) SnapshotInto(dst *vm.MachineState) *vm.MachineState { return a.mach.SnapshotInto(dst) }
 
 // Restore rewinds the agent to a snapshot taken from an agent of the
 // same configuration (snapshots copy, so many forks may restore from

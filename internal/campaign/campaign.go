@@ -218,6 +218,10 @@ func RunWithOptions(sc *scenario.Scenario, mode sim.Mode, target vm.Device, mode
 		}
 		c.Runs[i] = RunRecord{Plan: plan, Result: sim.Run(cfg)}
 	})
+	// Past the fork barrier every injection run has restored from its
+	// checkpoint; recycle the snapshot buffers for the next campaign's
+	// profiling pass.
+	sim.ReleaseCheckpoints(cps)
 
 	goldenTraces := make([]*trace.Trace, 0, len(c.Golden))
 	for _, g := range c.Golden {

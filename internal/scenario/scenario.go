@@ -116,15 +116,27 @@ type EnvState struct {
 
 // Snapshot captures the environment's mutable state.
 func (e *Env) Snapshot() *EnvState {
-	st := &EnvState{
-		Ego:  e.Ego.State,
-		Rand: e.Rand.Snapshot(),
-		NPCs: make([]NPCState, len(e.NPCs)),
+	return e.SnapshotInto(nil)
+}
+
+// SnapshotInto is Snapshot writing into dst, reusing dst's NPC slice
+// when its capacity suffices (the checkpoint-pool path). A nil dst
+// allocates a fresh state.
+func (e *Env) SnapshotInto(dst *EnvState) *EnvState {
+	if dst == nil {
+		dst = &EnvState{}
+	}
+	dst.Ego = e.Ego.State
+	dst.Rand = e.Rand.Snapshot()
+	if cap(dst.NPCs) < len(e.NPCs) {
+		dst.NPCs = make([]NPCState, len(e.NPCs))
+	} else {
+		dst.NPCs = dst.NPCs[:len(e.NPCs)]
 	}
 	for i, n := range e.NPCs {
-		st.NPCs[i] = NPCState{Follower: n.Follower.Snapshot(), Braking: n.Braking, Phase: n.Phase}
+		dst.NPCs[i] = NPCState{Follower: n.Follower.Snapshot(), Braking: n.Braking, Phase: n.Phase}
 	}
-	return st
+	return dst
 }
 
 // Restore rewinds a freshly instantiated environment (same scenario,

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"diverseav/internal/physics"
 	"diverseav/internal/rng"
@@ -66,31 +67,56 @@ type Checkpoint struct {
 	Trace *trace.Trace
 }
 
-// snapshot deep-copies the runner's mutable state at the top of `step`.
+// cpPool recycles Checkpoints (and, transitively, their agent memory
+// images, NPC slices, and trace-prefix storage — by far the largest
+// allocations of a checkpointed pass) between campaign passes. A fork
+// campaign takes the same snapshot shape tens of times per scenario;
+// recycling via ReleaseCheckpoints brings its steady-state allocation
+// behavior back to that of a cold (non-checkpointed) campaign.
+var cpPool = sync.Pool{New: func() any { return new(Checkpoint) }}
+
+// ReleaseCheckpoints returns checkpoints to the pool for reuse by later
+// checkpointed passes. The caller must guarantee that no fork still
+// runs from — or otherwise holds — any of them: after release their
+// contents are undefined. The campaign manager calls this once all of a
+// campaign's injection forks have completed.
+func ReleaseCheckpoints(cps []*Checkpoint) {
+	for _, cp := range cps {
+		if cp != nil {
+			cpPool.Put(cp)
+		}
+	}
+}
+
+// snapshot deep-copies the runner's mutable state at the top of `step`
+// into a (possibly recycled) checkpoint.
 func (r *runner) snapshot(step int) *Checkpoint {
-	cp := &Checkpoint{
-		Scenario:       r.cfg.Scenario.Name,
-		Mode:           r.cfg.Mode,
-		Seed:           r.cfg.Seed,
-		Overlap:        r.cfg.Overlap,
-		SensorNoiseStd: r.cfg.SensorNoiseStd,
-		Step:           step,
-		Env:            r.env.Snapshot(),
-		IMU:            r.imu.Snapshot(),
-		Jitter:         r.jitter.Snapshot(),
-		Agents:         make([]*vm.MachineState, len(r.agents)),
-		Activations:    make([]uint64, len(r.injectors)),
-		Applied:        r.applied,
-		AppliedBy:      r.appliedBy,
-		LastFrame:      r.lastFrame,
-		EgoSt:          r.egoSt,
-		Trace:          r.tr.Snapshot(),
+	cp := cpPool.Get().(*Checkpoint)
+	cp.Scenario = r.cfg.Scenario.Name
+	cp.Mode = r.cfg.Mode
+	cp.Seed = r.cfg.Seed
+	cp.Overlap = r.cfg.Overlap
+	cp.SensorNoiseStd = r.cfg.SensorNoiseStd
+	cp.Step = step
+	cp.Env = r.env.SnapshotInto(cp.Env)
+	cp.IMU = r.imu.Snapshot()
+	cp.Jitter = r.jitter.Snapshot()
+	cp.Applied = r.applied
+	cp.AppliedBy = r.appliedBy
+	cp.LastFrame = r.lastFrame
+	cp.EgoSt = r.egoSt
+	cp.Trace = r.tr.SnapshotInto(cp.Trace)
+	if cap(cp.Agents) < len(r.agents) {
+		cp.Agents = make([]*vm.MachineState, len(r.agents))
+	} else {
+		cp.Agents = cp.Agents[:len(r.agents)]
 	}
 	for i, ag := range r.agents {
-		cp.Agents[i] = ag.Snapshot()
+		cp.Agents[i] = ag.SnapshotInto(cp.Agents[i])
 	}
-	for i, inj := range r.injectors {
-		cp.Activations[i] = inj.Snapshot()
+	cp.Activations = cp.Activations[:0]
+	for _, inj := range r.injectors {
+		cp.Activations = append(cp.Activations, inj.Snapshot())
 	}
 	return cp
 }

@@ -162,6 +162,37 @@ func TestRunFromRejectsMismatchedConfig(t *testing.T) {
 	}
 }
 
+// TestCheckpointPoolReuse pins the checkpoint recycling path: after
+// ReleaseCheckpoints, a later checkpointed pass refills the recycled
+// buffers, and forks from them must still be byte-identical to a cold
+// run. Stale state leaking through a reused agent memory image, NPC
+// slice, or trace prefix would show up here as a hash mismatch.
+func TestCheckpointPoolReuse(t *testing.T) {
+	sc := shortScenario()
+	cfg := Config{Scenario: sc, Mode: RoundRobin, Seed: 11}
+	want := hashTrace(t, Run(cfg).Trace)
+
+	cpCfg := cfg
+	cpCfg.CheckpointEvery = 30
+	for round := 0; round < 3; round++ {
+		res := Run(cpCfg)
+		if len(res.Checkpoints) == 0 {
+			t.Fatalf("round %d: no checkpoints emitted", round)
+		}
+		for _, cp := range res.Checkpoints {
+			fres, err := RunFrom(cp, cfg)
+			if err != nil {
+				t.Fatalf("round %d: fork from step %d: %v", round, cp.Step, err)
+			}
+			if got := hashTrace(t, fres.Trace); got != want {
+				t.Fatalf("round %d: fork from recycled checkpoint at step %d diverged: %s != %s",
+					round, cp.Step, got, want)
+			}
+		}
+		ReleaseCheckpoints(res.Checkpoints)
+	}
+}
+
 // TestMemFaultForkEquivalence extends the matrix to the ECC-off memory
 // fault model (§VIII): a fork from a checkpoint before the flip must
 // reproduce the cold faulty trace exactly.

@@ -103,6 +103,12 @@ type Config struct {
 	// campaigns fork from the checkpoints via RunFrom instead of
 	// re-simulating the shared fault-free prefix.
 	CheckpointEvery int
+	// ForceVMTier0 pins every agent machine to the tier-0 scalar
+	// interpreter, disabling the fused tier-1 kernels even on hook-free
+	// runs. The tiers are bit-identical by construction (and by the
+	// differential suites); this switch exists so trace-level regression
+	// tests and benchmarks can compare them end to end.
+	ForceVMTier0 bool
 }
 
 // MemFault is a single uncorrected memory bit flip (ECC-off model).
@@ -179,6 +185,9 @@ func newRunner(cfg Config) *runner {
 	r.injectors = make([]*fi.Injector, 0, nAgents)
 	for i := range r.agents {
 		r.agents[i] = agent.New(agentName(i))
+		if cfg.ForceVMTier0 {
+			r.agents[i].Machine().SetMaxTier(0)
+		}
 		switch {
 		case cfg.Fault != nil:
 			// A transient fault strikes one process. A permanent fault

@@ -83,9 +83,20 @@ type Trace struct {
 // steps slice is copied, never aliased, so a checkpointed prefix can be
 // extended independently by any number of forked runs.
 func (tr *Trace) Snapshot() *Trace {
-	cp := *tr
-	cp.Steps = append([]Step(nil), tr.Steps...)
-	return &cp
+	return tr.SnapshotInto(nil)
+}
+
+// SnapshotInto is Snapshot writing into dst, reusing dst's step storage
+// when its capacity suffices (the checkpoint-pool path). A nil dst
+// allocates a fresh trace.
+func (tr *Trace) SnapshotInto(dst *Trace) *Trace {
+	if dst == nil {
+		dst = &Trace{}
+	}
+	steps := append(dst.Steps[:0], tr.Steps...)
+	*dst = *tr
+	dst.Steps = steps
+	return dst
 }
 
 // Duration returns the simulated length of the trace in seconds.

@@ -273,7 +273,9 @@ func (b *Builder) Build() (*Program, error) {
 		}
 		b.code[p.instr].IImm = int64(t)
 	}
-	return &Program{Name: b.name, Code: b.code}, nil
+	p := &Program{Name: b.name, Code: b.code}
+	fuse(p)
+	return p, nil
 }
 
 // MustBuild is Build but panics on error; program construction errors are

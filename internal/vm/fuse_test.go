@@ -1,0 +1,595 @@
+package vm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// These tests pin the tier-1 invariant per fusion template: executing a
+// program with fused kernels must be bit-identical — registers, memory,
+// traps, instruction counts — to the scalar tier-0 loop AND to the
+// hooked loop with an always-zero mask, for every step budget from 0 to
+// past completion. The budget sweep exercises every bail-out path: the
+// n==0 exit, mid-loop budget returns, the exit-latch boundary, and
+// full completion; the small-memory variants exercise the OOB bails.
+
+// protoMachine builds a machine with seeded junk in memory and both
+// register files, including NaN and ±Inf words, so a kernel that skips
+// committing any architecturally written register or mishandles
+// non-finite compares shows up as a diff.
+func protoMachine(memWords int, seed int64) *Machine {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMachine(memWords)
+	for i := range m.mem {
+		switch {
+		case i%37 == 19:
+			m.mem[i] = math.NaN()
+		case i%41 == 13:
+			m.mem[i] = math.Inf(1 - 2*(i%2))
+		default:
+			m.mem[i] = rng.NormFloat64() * 100
+		}
+	}
+	for d := range m.dev {
+		for i := range m.dev[d].f {
+			m.dev[d].f[i] = rng.NormFloat64()
+		}
+		for i := range m.dev[d].r {
+			m.dev[d].r[i] = rng.Int63n(1000) - 500
+		}
+	}
+	return m
+}
+
+func machinesEqual(t *testing.T, label string, a, b *Machine, errA, errB error) {
+	t.Helper()
+	ta, aIsTrap := errA.(*Trap)
+	tb, bIsTrap := errB.(*Trap)
+	if (errA == nil) != (errB == nil) || aIsTrap != bIsTrap {
+		t.Fatalf("%s: error mismatch: %v vs %v", label, errA, errB)
+	}
+	if aIsTrap && *ta != *tb {
+		t.Fatalf("%s: trap mismatch: %+v vs %+v", label, *ta, *tb)
+	}
+	for d := 0; d < 2; d++ {
+		if a.dev[d].count != b.dev[d].count {
+			t.Fatalf("%s: dev %d count %d vs %d", label, d, a.dev[d].count, b.dev[d].count)
+		}
+		for i := range a.dev[d].f {
+			if math.Float64bits(a.dev[d].f[i]) != math.Float64bits(b.dev[d].f[i]) {
+				t.Fatalf("%s: dev %d f%d = %v vs %v", label, d, i, a.dev[d].f[i], b.dev[d].f[i])
+			}
+		}
+		for i := range a.dev[d].r {
+			if a.dev[d].r[i] != b.dev[d].r[i] {
+				t.Fatalf("%s: dev %d r%d = %d vs %d", label, d, i, a.dev[d].r[i], b.dev[d].r[i])
+			}
+		}
+	}
+	if len(a.mem) != len(b.mem) {
+		t.Fatalf("%s: mem size %d vs %d", label, len(a.mem), len(b.mem))
+	}
+	for i := range a.mem {
+		if math.Float64bits(a.mem[i]) != math.Float64bits(b.mem[i]) {
+			t.Fatalf("%s: mem[%d] = %v vs %v", label, i, a.mem[i], b.mem[i])
+		}
+	}
+}
+
+// diffRun executes p from proto's state under three configurations —
+// tier 1, tier 0, and the hooked loop with a zero mask — and fails on
+// any state or trap difference.
+func diffRun(t *testing.T, label string, p *Program, d Device, budget uint64, proto *Machine) {
+	t.Helper()
+	st := proto.Snapshot()
+	exec := func(tier int, hooked bool) (*Machine, error) {
+		m := NewMachine(1)
+		m.Restore(st)
+		m.SetMaxTier(tier)
+		if hooked {
+			m.SetFaultHook(func(WriteEvent) uint64 { return 0 })
+		}
+		return m, m.Run(d, p, budget)
+	}
+	m1, err1 := exec(1, false)
+	m0, err0 := exec(0, false)
+	mh, errh := exec(1, true)
+	machinesEqual(t, label+"/tier1-vs-tier0", m1, m0, err1, err0)
+	machinesEqual(t, label+"/tier1-vs-hooked", m1, mh, err1, errh)
+}
+
+// sweepBudgets diff-runs p for every budget from 0 to full completion
+// plus a margin, where "full" is measured on tier 0.
+func sweepBudgets(t *testing.T, label string, p *Program, proto *Machine) {
+	t.Helper()
+	m := NewMachine(1)
+	m.Restore(proto.Snapshot())
+	m.SetMaxTier(0)
+	_ = m.Run(GPU, p, 1<<40)
+	full := m.dev[GPU].count
+	if full > 3000 {
+		t.Fatalf("%s: test program too long for a full sweep: %d", label, full)
+	}
+	for budget := uint64(0); budget <= full+4; budget++ {
+		diffRun(t, label, p, GPU, budget, proto)
+	}
+}
+
+func wantKernels(t *testing.T, p *Program, want ...string) {
+	t.Helper()
+	got := p.FusedKernels()
+	if len(got) != len(want) {
+		t.Fatalf("%s: fused kernels %v, want %v", p.Name, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: fused kernels %v, want %v", p.Name, got, want)
+		}
+	}
+}
+
+// Mini-programs reproducing each agent loop idiom with deliberately
+// different register numbers than internal/agent uses, proving the
+// matchers bind registers rather than recognize fixed conventions.
+
+func buildScoreLike(src, dst, count int64) *Program {
+	const (
+		rC, rE, rF, rS, rD = 5, 6, 7, 8, 9
+	)
+	const (
+		f0, f1, f2, f3, f4, f5, fSc, fNH = 20, 21, 22, 23, 24, 25, 26, 27
+	)
+	b := NewBuilder("score-like")
+	b.IMovI(rS, src)
+	b.IMovI(rD, dst)
+	b.IMovI(rC, 0)
+	b.IMovI(rE, count)
+	b.FMovI(fNH, -0.5)
+	top := b.NewLabel()
+	done := b.NewLabel()
+	b.Bind(top)
+	b.ICmpLt(rF, rC, rE)
+	b.Beqz(rF, done)
+	b.Ld(f0, rS, 0)
+	b.Ld(f1, rS, 1)
+	b.Ld(f2, rS, 2)
+	b.FAdd(f3, f0, f1)
+	b.FMA(f4, f3, fNH, f2)
+	b.FAdd(f3, f1, f2)
+	b.FMA(f5, f3, fNH, f0)
+	b.FMax(fSc, f4, f5)
+	b.St(rD, 0, fSc)
+	b.IAddI(rS, rS, 3)
+	b.IAddI(rD, rD, 1)
+	b.IAddI(rC, rC, 1)
+	b.Jmp(top)
+	b.Bind(done)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestFuseScoreLoop(t *testing.T) {
+	p := buildScoreLike(10, 100, 9)
+	wantKernels(t, p, "mov-run", "score-loop")
+	sweepBudgets(t, "score", p, protoMachine(256, 1))
+	// Source runs off the end of memory mid-loop.
+	sweepBudgets(t, "score-oob", buildScoreLike(40, 0, 9), protoMachine(48, 2))
+	// Destination goes out of bounds first.
+	sweepBudgets(t, "score-oob-dst", buildScoreLike(0, 60, 9), protoMachine(64, 3))
+}
+
+func TestFuseScoreLoopAliasedNotFused(t *testing.T) {
+	// fNH aliased onto f0: hoisting would go stale, so the matcher must
+	// refuse. Identical shape otherwise.
+	const (
+		rC, rE, rF, rS, rD = 5, 6, 7, 8, 9
+	)
+	const (
+		f0, f1, f2, f3, f4, f5, fSc = 20, 21, 22, 23, 24, 25, 26
+	)
+	fNH := f0
+	b := NewBuilder("score-aliased")
+	b.IMovI(rS, 10)
+	b.IMovI(rD, 100)
+	b.IMovI(rC, 0)
+	b.IMovI(rE, 5)
+	top := b.NewLabel()
+	done := b.NewLabel()
+	b.Bind(top)
+	b.ICmpLt(rF, rC, rE)
+	b.Beqz(rF, done)
+	b.Ld(f0, rS, 0)
+	b.Ld(f1, rS, 1)
+	b.Ld(f2, rS, 2)
+	b.FAdd(f3, f0, f1)
+	b.FMA(f4, f3, fNH, f2)
+	b.FAdd(f3, f1, f2)
+	b.FMA(f5, f3, fNH, f0)
+	b.FMax(fSc, f4, f5)
+	b.St(rD, 0, fSc)
+	b.IAddI(rS, rS, 3)
+	b.IAddI(rD, rD, 1)
+	b.IAddI(rC, rC, 1)
+	b.Jmp(top)
+	b.Bind(done)
+	b.Halt()
+	p := b.MustBuild()
+	for _, name := range p.FusedKernels() {
+		if name == "score-loop" {
+			t.Fatalf("aliased score loop must not fuse: %v", p.FusedKernels())
+		}
+	}
+	sweepBudgets(t, "score-aliased", p, protoMachine(256, 4))
+}
+
+func buildRoadnessLike(src, dst, count int64) *Program {
+	const (
+		rC, rE, rF, rT0, rT1, rS, rD = 11, 12, 13, 14, 15, 16, 17
+	)
+	const (
+		f0, f1, f2, f3, f4, f5, fR = 40, 41, 42, 43, 44, 45, 46
+	)
+	const (
+		fCh, fHi, fLo, fOne, fZero = 50, 51, 52, 53, 54
+	)
+	b := NewBuilder("roadness-like")
+	b.IMovI(rS, src)
+	b.IMovI(rD, dst)
+	b.IMovI(rC, 0)
+	b.IMovI(rE, count)
+	b.FMovI(fCh, 18)
+	b.FMovI(fHi, 470)
+	b.FMovI(fLo, 180)
+	b.FMovI(fOne, 1)
+	b.FMovI(fZero, 0)
+	top := b.NewLabel()
+	done := b.NewLabel()
+	b.Bind(top)
+	b.ICmpLt(rF, rC, rE)
+	b.Beqz(rF, done)
+	b.Ld(f0, rS, 0)
+	b.Ld(f1, rS, 1)
+	b.Ld(f2, rS, 2)
+	b.FSub(f3, f0, f1)
+	b.FAbs(f3, f3)
+	b.FCmpLt(rT0, f3, fCh)
+	b.FSub(f4, f1, f2)
+	b.FAbs(f4, f4)
+	b.FCmpLt(rT1, f4, fCh)
+	b.IAnd(rT0, rT0, rT1)
+	b.FAdd(f5, f0, f1)
+	b.FAdd(f5, f5, f2)
+	b.FCmpLt(rT1, f5, fHi)
+	b.IAnd(rT0, rT0, rT1)
+	b.FCmpLe(rT1, fLo, f5)
+	b.IAnd(rT0, rT0, rT1)
+	b.FSel(fR, fOne, fZero, rT0)
+	b.St(rD, 0, fR)
+	b.IAddI(rS, rS, 3)
+	b.IAddI(rD, rD, 1)
+	b.IAddI(rC, rC, 1)
+	b.Jmp(top)
+	b.Bind(done)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestFuseRoadnessLoop(t *testing.T) {
+	p := buildRoadnessLike(8, 90, 8)
+	wantKernels(t, p, "mov-run", "roadness-loop")
+	sweepBudgets(t, "roadness", p, protoMachine(160, 5))
+	sweepBudgets(t, "roadness-oob", buildRoadnessLike(30, 0, 8), protoMachine(40, 6))
+}
+
+func buildConvLike(base, count, stOff int64, o1, o2, o3, o4 int64) *Program {
+	const (
+		rCl, rC1, rF, rA, rB = 3, 4, 5, 6, 7
+	)
+	const (
+		f0, f1, f2, f3, f4, fK = 30, 31, 32, 33, 34, 35
+	)
+	b := NewBuilder("conv-like")
+	b.IMovI(rB, base)
+	b.IMovI(rCl, 1)
+	b.IMovI(rC1, count)
+	b.FMovI(fK, 0.2)
+	top := b.NewLabel()
+	done := b.NewLabel()
+	b.Bind(top)
+	b.ICmpLt(rF, rCl, rC1)
+	b.Beqz(rF, done)
+	b.IAdd(rA, rB, rCl)
+	b.Ld(f0, rA, 0)
+	b.Ld(f1, rA, o1)
+	b.Ld(f2, rA, o2)
+	b.Ld(f3, rA, o3)
+	b.Ld(f4, rA, o4)
+	b.FAdd(f0, f0, f1)
+	b.FAdd(f0, f0, f2)
+	b.FAdd(f0, f0, f3)
+	b.FAdd(f0, f0, f4)
+	b.FMul(f0, f0, fK)
+	b.St(rA, stOff, f0)
+	b.IAddI(rCl, rCl, 1)
+	b.Jmp(top)
+	b.Bind(done)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestFuseConvLoop(t *testing.T) {
+	p := buildConvLike(16, 11, 64, -1, 1, -8, 8)
+	wantKernels(t, p, "mov-run", "conv-loop")
+	sweepBudgets(t, "conv", p, protoMachine(160, 7))
+	// Store overlaps the next iterations' load window: the kernel must
+	// execute loads and the store in order, like the scalar loop.
+	pa := buildConvLike(16, 11, 2, -1, 1, -8, 8)
+	wantKernels(t, pa, "mov-run", "conv-loop")
+	sweepBudgets(t, "conv-alias", pa, protoMachine(160, 8))
+	sweepBudgets(t, "conv-oob", buildConvLike(120, 11, 64, -1, 1, -8, 8), protoMachine(144, 9))
+}
+
+func buildCenterScanLike(lut, grid, count int64) *Program {
+	const (
+		rCl, rC1, rF, rA, rLut, rB, rT0, rT1 = 2, 3, 4, 5, 6, 7, 8, 9
+	)
+	const (
+		fCl, fLat, fX, fM0, fMin = 20, 21, 22, 23, 24
+	)
+	const (
+		fRowD, fCorr, fThr, fBig = 25, 26, 27, 28
+	)
+	b := NewBuilder("center-scan-like")
+	b.IMovI(rLut, lut)
+	b.IMovI(rB, grid)
+	b.IMovI(rCl, 0)
+	b.IMovI(rC1, count)
+	b.FMovI(fRowD, 17.5)
+	b.FMovI(fCorr, 2.5)
+	b.FMovI(fThr, 40)
+	b.FMovI(fBig, 1e9)
+	b.FMovI(fMin, 1e9)
+	top := b.NewLabel()
+	done := b.NewLabel()
+	b.Bind(top)
+	b.ICmpLt(rF, rCl, rC1)
+	b.Beqz(rF, done)
+	b.IAdd(rA, rLut, rCl)
+	b.Ld(fCl, rA, 0)
+	b.FMul(fLat, fCl, fRowD)
+	b.FAbs(fLat, fLat)
+	b.FCmpLt(rT0, fLat, fCorr)
+	b.IAdd(rA, rB, rCl)
+	b.Ld(fX, rA, 0)
+	b.FCmpLt(rT1, fThr, fX)
+	b.IAnd(rT0, rT0, rT1)
+	b.FSel(fM0, fRowD, fBig, rT0)
+	b.FMin(fMin, fMin, fM0)
+	b.IAddI(rCl, rCl, 1)
+	b.Jmp(top)
+	b.Bind(done)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestFuseCenterScanLoop(t *testing.T) {
+	p := buildCenterScanLike(4, 70, 12)
+	wantKernels(t, p, "mov-run", "center-scan-loop")
+	sweepBudgets(t, "center-scan", p, protoMachine(128, 10))
+	sweepBudgets(t, "center-scan-oob", buildCenterScanLike(4, 58, 12), protoMachine(64, 11))
+}
+
+func buildSideScanLike(grid, col0, count int64) *Program {
+	const (
+		rCl, rC1, rF, rA, rB, rT0 = 10, 11, 12, 13, 14, 15
+	)
+	const (
+		fX, fM0, fS, fThr, fRowD, fBig = 36, 37, 38, 39, 40, 41
+	)
+	b := NewBuilder("side-scan-like")
+	b.IMovI(rB, grid)
+	b.IMovI(rCl, col0)
+	b.IMovI(rC1, count)
+	b.FMovI(fThr, 40)
+	b.FMovI(fRowD, 6.25)
+	b.FMovI(fBig, 1e9)
+	b.FMovI(fS, 1e9)
+	top := b.NewLabel()
+	done := b.NewLabel()
+	b.Bind(top)
+	b.ICmpLt(rF, rCl, rC1)
+	b.Beqz(rF, done)
+	b.IAdd(rA, rB, rCl)
+	b.Ld(fX, rA, 0)
+	b.FCmpLt(rT0, fThr, fX)
+	b.FSel(fM0, fRowD, fBig, rT0)
+	b.FMin(fS, fS, fM0)
+	b.IAddI(rCl, rCl, 1)
+	b.Jmp(top)
+	b.Bind(done)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestFuseSideScanLoop(t *testing.T) {
+	p := buildSideScanLike(20, 2, 14)
+	wantKernels(t, p, "mov-run", "side-scan-loop")
+	sweepBudgets(t, "side-scan", p, protoMachine(96, 12))
+	sweepBudgets(t, "side-scan-oob", buildSideScanLike(50, 2, 14), protoMachine(56, 13))
+}
+
+func buildLaneEdgeLike(road, lut, start int64) *Program {
+	const (
+		rC, rE, rF, rA, rS, rT0, rT1, rM, rL = 18, 19, 20, 21, 22, 23, 24, 25, 26
+	)
+	const (
+		fRd, fCl, fSum, fCut = 55, 56, 57, 58
+	)
+	b := NewBuilder("lane-edge-like")
+	b.IMovI(rM, 0)
+	b.FMovI(fSum, 0)
+	b.FMovI(fCut, 0.5)
+	b.IMovI(rC, start)
+	b.IMovI(rE, -1)
+	b.IMovI(rS, road)
+	b.IMovI(rL, lut)
+	top := b.NewLabel()
+	done := b.NewLabel()
+	b.Bind(top)
+	b.ICmpLt(rF, rE, rC)
+	b.Beqz(rF, done)
+	b.IAdd(rA, rS, rC)
+	b.Ld(fRd, rA, 0)
+	b.FCmpLt(rT0, fCut, fRd)
+	b.IMovI(rT1, 0)
+	b.ICmpEq(rT1, rM, rT1)
+	b.IAnd(rT1, rT0, rT1)
+	b.IAdd(rA, rL, rC)
+	b.Ld(fCl, rA, 0)
+	b.FSel(fSum, fCl, fSum, rT1)
+	b.IOr(rM, rM, rT0)
+	b.IAddI(rC, rC, -1)
+	b.Jmp(top)
+	b.Bind(done)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestFuseLaneEdgeLoop(t *testing.T) {
+	p := buildLaneEdgeLike(30, 60, 13)
+	wantKernels(t, p, "mov-run", "lane-edge-loop")
+	sweepBudgets(t, "lane-edge", p, protoMachine(128, 14))
+	// Decrementing scan walks below address 0 mid-loop.
+	sweepBudgets(t, "lane-edge-oob", buildLaneEdgeLike(-4, 60, 13), protoMachine(128, 15))
+}
+
+func buildChecksumLike(src, count int64) *Program {
+	const (
+		rC, rE, rF, rA, rS, rT0, rT1, rAc, rSa, rSb = 1, 2, 3, 4, 5, 6, 7, 8, 9, 10
+	)
+	const f0 = 12
+	b := NewBuilder("checksum-like")
+	b.IMovI(rS, src)
+	b.IMovI(rC, 0)
+	b.IMovI(rE, count)
+	b.IMovI(rAc, 0)
+	b.IMovI(rSa, 5)
+	b.IMovI(rSb, 59)
+	top := b.NewLabel()
+	done := b.NewLabel()
+	b.Bind(top)
+	b.ICmpEq(rF, rC, rE)
+	b.Bnez(rF, done)
+	b.IAdd(rA, rS, rC)
+	b.Ld(f0, rA, 0)
+	b.FToI(rT0, f0)
+	b.IXor(rAc, rAc, rT0)
+	b.IShl(rT0, rAc, rSa)
+	b.IShr(rT1, rAc, rSb)
+	b.IOr(rAc, rT0, rT1)
+	b.IAddI(rC, rC, 1)
+	b.Jmp(top)
+	b.Bind(done)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestFuseChecksumLoop(t *testing.T) {
+	p := buildChecksumLike(6, 12)
+	wantKernels(t, p, "mov-run", "checksum-loop")
+	sweepBudgets(t, "checksum", p, protoMachine(64, 16))
+	sweepBudgets(t, "checksum-oob", buildChecksumLike(24, 12), protoMachine(32, 17))
+}
+
+func buildCopyLike(src, end, ldOff, stOff, stride int64) *Program {
+	const (
+		rS, rE, rF, fD = 27, 28, 29, 60
+	)
+	b := NewBuilder("copy-like")
+	b.IMovI(rS, src)
+	b.IMovI(rE, end)
+	top := b.NewLabel()
+	b.Bind(top)
+	b.Ld(fD, rS, ldOff)
+	b.St(rS, stOff, fD)
+	b.IAddI(rS, rS, stride)
+	b.ICmpLt(rF, rS, rE)
+	b.Bnez(rF, top)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestFuseCopyLoop(t *testing.T) {
+	p := buildCopyLike(4, 20, 0, 40, 1)
+	wantKernels(t, p, "copy-loop")
+	sweepBudgets(t, "copy", p, protoMachine(96, 18))
+	// The store feeds the load two iterations later: in-order execution
+	// inside the kernel must reproduce the scalar result, including the
+	// final loaded value in fD.
+	sweepBudgets(t, "copy-alias", buildCopyLike(4, 20, 0, 2, 1), protoMachine(96, 19))
+	// A bottom-tested loop runs its body at least once even when the
+	// counter already passed the bound.
+	sweepBudgets(t, "copy-degenerate", buildCopyLike(30, 10, 0, 3, 2), protoMachine(96, 20))
+	sweepBudgets(t, "copy-oob", buildCopyLike(4, 60, 0, 8, 1), protoMachine(48, 21))
+}
+
+func TestFuseMovRun(t *testing.T) {
+	b := NewBuilder("mov-run-like")
+	b.FMovI(1, 2.5)
+	b.IMovI(3, 77)
+	b.FMov(2, 1) // reads the register the first mov wrote
+	b.FMovI(1, -9)
+	b.IMovI(4, -1)
+	b.Halt()
+	p := b.MustBuild()
+	wantKernels(t, p, "mov-run")
+	proto := protoMachine(16, 22)
+	for budget := uint64(0); budget <= 8; budget++ {
+		diffRun(t, "mov-run", p, CPU, budget, proto)
+	}
+}
+
+// TestFuseSafeIters pins the address-window math used by every kernel.
+func TestFuseSafeIters(t *testing.T) {
+	cases := []struct {
+		j                    uint64
+		base, stride, lo, hi int64
+		msz                  int
+		want                 uint64
+	}{
+		{10, 0, 1, 0, 0, 10, 10},          // exactly fits
+		{10, 0, 1, 0, 0, 9, 9},            // one short
+		{10, 5, 3, 0, 2, 100, 10},         // strided, roomy
+		{10, 5, 3, 0, 2, 14, 3},           // strided, tight: 5,8,11 ok; 14+2 oob
+		{10, -1, 1, 0, 0, 100, 0},         // first iteration already oob
+		{10, 99, 1, 0, 1, 100, 0},         // hi lands oob at i=0
+		{10, 50, -1, 0, 0, 100, 10},       // descending, roomy
+		{10, 3, -1, 0, 0, 100, 4},         // descending hits 0 after 4 iters
+		{10, 3, -2, 0, 0, 100, 2},         // descending stride 2: 3, 1, then -1
+		{5, maxFuseBase, 1, 0, 0, 100, 0}, // base guard
+		{0, 0, 1, 0, 0, 100, 0},           // zero request
+	}
+	for i, c := range cases {
+		if got := safeIters(c.j, c.base, c.stride, c.lo, c.hi, c.msz); got != c.want {
+			t.Errorf("case %d: safeIters(%d, %d, %d, %d, %d, %d) = %d, want %d",
+				i, c.j, c.base, c.stride, c.lo, c.hi, c.msz, got, c.want)
+		}
+	}
+}
+
+// TestSetMaxTier pins the tier-selection API.
+func TestSetMaxTier(t *testing.T) {
+	m := NewMachine(8)
+	if m.MaxTier() != 1 {
+		t.Fatalf("default tier = %d, want 1", m.MaxTier())
+	}
+	m.SetMaxTier(0)
+	if m.MaxTier() != 0 {
+		t.Fatalf("after SetMaxTier(0): %d", m.MaxTier())
+	}
+	m.SetMaxTier(1)
+	if m.MaxTier() != 1 {
+		t.Fatalf("after SetMaxTier(1): %d", m.MaxTier())
+	}
+}

@@ -170,12 +170,28 @@ func (in Instr) String() string {
 }
 
 // Program is an executable sequence of instructions, produced by a
-// Builder.
+// Builder. plan is the optional tier-1 compilation (fused
+// superinstruction kernels); see fuse.go.
 type Program struct {
 	Name  string
 	Code  []Instr
 	entry int
+	plan  *fusionPlan
 }
 
 // Len returns the static instruction count.
 func (p *Program) Len() int { return len(p.Code) }
+
+// FusedKernels returns the fusion-catalog names of the tier-1 kernels
+// compiled for this program, in entry-pc order (nil when nothing fused).
+// Tests use it to pin which idioms actually fuse.
+func (p *Program) FusedKernels() []string {
+	if p.plan == nil {
+		return nil
+	}
+	names := make([]string, len(p.plan.kernels))
+	for i := range p.plan.kernels {
+		names[i] = p.plan.kernels[i].name
+	}
+	return names
+}

@@ -104,6 +104,9 @@ type Machine struct {
 	mem  []float64
 	dev  [2]deviceState
 	hook FaultHook
+	// tier0Only pins execution to the scalar loop even when a program
+	// has a tier-1 fusion plan; see SetMaxTier.
+	tier0Only bool
 }
 
 // NewMachine allocates a machine with the given data-memory size in
@@ -114,6 +117,21 @@ func NewMachine(memWords int) *Machine {
 
 // SetFaultHook installs (or clears, with nil) the fault-injection hook.
 func (m *Machine) SetFaultHook(h FaultHook) { m.hook = h }
+
+// SetMaxTier caps the execution tier: 0 pins the machine to the scalar
+// per-instruction loop, ≥ 1 (the default) also allows fused
+// superinstruction kernels on hook-free runs. Both tiers are
+// bit-identical by construction (see fuse.go); the cap exists for
+// differential tests and for ruling tier 1 out when debugging.
+func (m *Machine) SetMaxTier(t int) { m.tier0Only = t < 1 }
+
+// MaxTier returns the current execution-tier cap.
+func (m *Machine) MaxTier() int {
+	if m.tier0Only {
+		return 0
+	}
+	return 1
+}
 
 // MemSize returns the data-memory size in words.
 func (m *Machine) MemSize() int { return len(m.mem) }
@@ -274,12 +292,26 @@ func (m *Machine) Run(d Device, p *Program, stepBudget uint64) error {
 
 // runDirect is Run for machines with no fault hook: the same fetch /
 // decode / trap semantics, with writebacks committed straight into the
-// register file. Keep the two loops in lockstep when changing the ISA.
+// register file. Keep the two loops in lockstep when changing the ISA
+// (TestFuzzDirectVsHooked enforces this differentially).
+//
+// When the program carries a tier-1 fusion plan and the machine allows
+// it, pcs that are kernel entries dispatch to the fused kernel, which
+// executes whole loop iterations at once and advances steps by the
+// exact count the scalar loop would have; a kernel that cannot make
+// progress (trap ahead, budget too tight) returns 0 and the scalar
+// switch handles that pass. See fuse.go for the bit-exactness rules.
 func (m *Machine) runDirect(d Device, p *Program, stepBudget uint64) error {
 	ds := &m.dev[d]
 	code := p.Code
 	mem := m.mem
 	pc := p.entry
+	var kmap []int32
+	var kernels []fusedKernel
+	if p.plan != nil && !m.tier0Only {
+		kmap = p.plan.pcMap
+		kernels = p.plan.kernels
+	}
 	var steps uint64
 	for {
 		if pc < 0 || pc >= len(code) {
@@ -289,6 +321,15 @@ func (m *Machine) runDirect(d Device, p *Program, stepBudget uint64) error {
 		if steps >= stepBudget {
 			ds.count += steps
 			return &Trap{Kind: TrapStepBudget, Device: d, Program: p.Name, PC: pc}
+		}
+		if kmap != nil {
+			if ki := kmap[pc]; ki >= 0 {
+				if n, npc := kernels[ki].fn(m, ds, stepBudget-steps); n > 0 {
+					steps += n
+					pc = npc
+					continue
+				}
+			}
 		}
 		steps++
 		in := &code[pc]

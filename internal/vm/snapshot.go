@@ -24,13 +24,30 @@ type MachineState struct {
 // Snapshot captures the machine's full architectural state. The fault
 // hook is deliberately not part of the snapshot: hooks belong to the run
 // configuration (injector, profiler), not to the machine state, and a
-// forked run installs its own.
+// forked run installs its own. The execution tier is likewise
+// configuration (SetMaxTier), not architectural state: the tiers are
+// bit-identical, so a snapshot carries no trace of which one ran.
 func (m *Machine) Snapshot() *MachineState {
-	st := &MachineState{Mem: append([]float64(nil), m.mem...)}
-	for d := range m.dev {
-		st.Dev[d] = RegFile{F: m.dev[d].f, R: m.dev[d].r, Count: m.dev[d].count}
+	return m.SnapshotInto(nil)
+}
+
+// SnapshotInto is Snapshot writing into dst, reusing dst's memory buffer
+// when the sizes match (the checkpoint-pool path: a fork campaign takes
+// the same snapshot shape tens of times per pass, and the memory copy is
+// by far its largest allocation). A nil dst allocates a fresh state.
+func (m *Machine) SnapshotInto(dst *MachineState) *MachineState {
+	if dst == nil {
+		dst = &MachineState{}
 	}
-	return st
+	if len(dst.Mem) == len(m.mem) {
+		copy(dst.Mem, m.mem)
+	} else {
+		dst.Mem = append(dst.Mem[:0], m.mem...)
+	}
+	for d := range m.dev {
+		dst.Dev[d] = RegFile{F: m.dev[d].f, R: m.dev[d].r, Count: m.dev[d].count}
+	}
+	return dst
 }
 
 // Restore rewrites the machine's architectural state from a snapshot.

@@ -2,7 +2,8 @@
 # Runs the hot-path benchmark suite and writes BENCH_<date>.json into the
 # repo root. Before overwriting, the suite diffs steps/s (and ns/op)
 # against the newest existing BENCH_*.json so regressions and wins are
-# visible in the run output. Pass -benchtime 3x for a quick run; all
+# visible in the run output. Pass -benchtime 3x for a quick run, or
+# -cpuprofile cpu.out / -memprofile mem.out to profile the suite; all
 # flags are forwarded to cmd/bench.
 set -e
 cd "$(dirname "$0")/.."
