@@ -31,6 +31,8 @@ import (
 	"diverseav/internal/campaign"
 	"diverseav/internal/fi"
 	"diverseav/internal/geom"
+	"diverseav/internal/lab"
+	"diverseav/internal/report"
 	"diverseav/internal/scenario"
 	"diverseav/internal/sensor"
 	"diverseav/internal/sim"
@@ -151,6 +153,34 @@ func benchRunFromCheckpoint(stepsOut *int) func(b *testing.B) {
 	}
 }
 
+// benchStudy measures the orchestration layer end to end: the wall-clock
+// of a full bench-size study (3 detectors + 18 campaigns + golden sets)
+// through the lab scheduler. It is timed twice against the same lab —
+// the cold pass computes every artifact, the warm pass replays the
+// identical spec manifest against the populated store, so the warm/cold
+// ratio is the memoization win and the cold number tracks scheduler
+// overhead plus raw simulation throughput. StepsPerSec (cold only) is
+// over the study's injection-run traces.
+func benchStudy() (cold, warm time.Duration, steps int, stats lab.Stats) {
+	o := report.BenchOptions()
+	l := lab.New()
+	o.Lab = l
+	start := time.Now()
+	study := report.NewStudy(o)
+	cold = time.Since(start)
+	start = time.Now()
+	report.NewStudy(o)
+	warm = time.Since(start)
+	for _, camps := range [][]*campaign.Campaign{study.RR, study.FD, study.Single} {
+		for _, c := range camps {
+			for _, r := range c.Runs {
+				steps += len(r.Result.Trace.Steps)
+			}
+		}
+	}
+	return cold, warm, steps, l.Stats()
+}
+
 // benchScene builds a representative render scene: curved route, two
 // obstacles, one stop bar, nominal sensor noise.
 func benchScene() *sensor.Scene {
@@ -242,6 +272,7 @@ func main() {
 	benchtime := flag.String("benchtime", "", "benchtime for the benchmarks, e.g. 3x (default: testing's 1s)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole suite to this file")
 	memprofile := flag.String("memprofile", "", "write a post-suite heap profile to this file")
+	study := flag.Bool("study", true, "include the bench-size study wall-clock entries (cold vs warm lab cache; adds minutes)")
 	flag.Parse()
 	if *benchtime != "" {
 		// testing.Benchmark honors the -test.benchtime flag.
@@ -265,6 +296,16 @@ func main() {
 		NumCPU:     runtime.NumCPU(),
 	}
 
+	addEntry := func(e Entry) {
+		rep.Entries = append(rep.Entries, e)
+		if e.StepsPerSec > 0 {
+			fmt.Printf("%-28s %12.0f ns/op %10.0f steps/s %8d allocs/op %10d B/op\n",
+				e.Name, e.NsPerOp, e.StepsPerSec, e.AllocsPerOp, e.BytesPerOp)
+		} else {
+			fmt.Printf("%-28s %12.0f ns/op %8d allocs/op %10d B/op\n",
+				e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+		}
+	}
 	add := func(name string, r testing.BenchmarkResult, steps int) {
 		e := Entry{
 			Name:        name,
@@ -276,14 +317,7 @@ func main() {
 		if steps > 0 {
 			e.StepsPerSec = float64(steps) * float64(r.N) / r.T.Seconds()
 		}
-		rep.Entries = append(rep.Entries, e)
-		if steps > 0 {
-			fmt.Printf("%-28s %12.0f ns/op %10.0f steps/s %8d allocs/op %10d B/op\n",
-				name, e.NsPerOp, e.StepsPerSec, e.AllocsPerOp, e.BytesPerOp)
-		} else {
-			fmt.Printf("%-28s %12.0f ns/op %8d allocs/op %10d B/op\n",
-				name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
-		}
+		addEntry(e)
 	}
 
 	fmt.Printf("diverseav bench: %s, GOMAXPROCS=%d\n", rep.GoVersion, rep.GOMAXPROCS)
@@ -325,6 +359,22 @@ func main() {
 	add("render/center-camera", testing.Benchmark(benchRender), 0)
 	add("geom/project-full", testing.Benchmark(benchProject), 0)
 	add("geom/project-near", testing.Benchmark(benchProjectNear), 0)
+	if *study {
+		cold, warm, studySteps, st := benchStudy()
+		addEntry(Entry{
+			Name:        "study/bench-cold",
+			Iterations:  1,
+			NsPerOp:     float64(cold.Nanoseconds()),
+			StepsPerSec: float64(studySteps) / cold.Seconds(),
+		})
+		addEntry(Entry{
+			Name:       "study/bench-warm",
+			Iterations: 1,
+			NsPerOp:    float64(warm.Nanoseconds()),
+		})
+		fmt.Printf("%-28s computed=%d artifacts, warm pass: %d memory hits, 0 recomputes\n",
+			"  (study cache)", st.Computed, st.MemoryHits)
+	}
 
 	if cpuF != nil {
 		pprof.StopCPUProfile()

@@ -11,6 +11,7 @@ import (
 
 	"diverseav/internal/campaign"
 	"diverseav/internal/fi"
+	"diverseav/internal/lab"
 	"diverseav/internal/scenario"
 	"diverseav/internal/sim"
 	"diverseav/internal/vm"
@@ -24,12 +25,12 @@ func main() {
 		full    = flag.Bool("full", false, "paper-scale campaign (500 transient / 3 reps / 50 golden)")
 		seed    = flag.Uint64("seed", 7, "campaign seed")
 		td      = flag.Float64("td", 2, "trajectory-violation threshold, meters")
+		cache   = flag.String("cache", "", "artifact cache directory shared with cmd/experiments")
 		verbose = flag.Bool("v", false, "print per-run outcomes")
 	)
 	flag.Parse()
 
-	sc := scenario.ByName(*scen)
-	if sc == nil {
+	if scenario.ByName(*scen) == nil {
 		fmt.Fprintf(os.Stderr, "campaign: unknown scenario %q\n", *scen)
 		os.Exit(2)
 	}
@@ -46,7 +47,23 @@ func main() {
 		sizes = campaign.FullSizes()
 	}
 
-	c := campaign.Run(sc, sim.RoundRobin, dev, mdl, sizes, *seed)
+	l := lab.New()
+	if *cache != "" {
+		if err := l.SetDisk(*cache); err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			os.Exit(1)
+		}
+	}
+	l.SetLog(func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) })
+
+	c := l.Campaign(lab.CampaignSpec{
+		Scenario: *scen,
+		Mode:     sim.RoundRobin,
+		Target:   dev,
+		Model:    mdl,
+		Sizes:    sizes,
+		Seed:     *seed,
+	})
 	row := c.Table1Row(*td)
 	fmt.Printf("%s-%s on %s: total=%d active=%d hang/crash=%d accidents=%d traj-violations=%d (td=%.0fm)\n",
 		row.Target, row.Model, row.Scenario, row.Total, row.Active, row.HangCrash,

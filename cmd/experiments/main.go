@@ -1,7 +1,10 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation and writes a combined text report. Individual experiments
 // can be selected with -e; -bench shrinks campaign sizes for a quick
-// pass, -full restores the paper's scale (hours of compute).
+// pass, -full restores the paper's scale (hours of compute). With
+// -cache, campaign artifacts persist to disk and later invocations (of
+// any subset of experiments at the same sizes and seed) reuse them
+// instead of re-simulating.
 package main
 
 import (
@@ -11,15 +14,17 @@ import (
 	"strings"
 
 	"diverseav/internal/campaign"
+	"diverseav/internal/lab"
 	"diverseav/internal/report"
 )
 
 func main() {
 	var (
-		exps  = flag.String("e", "all", "comma-separated experiments: fig5a,fig5b,fig2,fig6,table1,fig7,fig8,table2,missed,compare,ablation,overlap,eccoff")
+		exps  = flag.String("e", "all", "comma-separated experiments: "+strings.Join(report.ExperimentNames(), ",")+" (or all)")
 		bench = flag.Bool("bench", false, "use the small benchmark sizes")
 		full  = flag.Bool("full", false, "use the paper-scale campaign sizes")
 		seed  = flag.Uint64("seed", 2022, "study seed")
+		cache = flag.String("cache", "", "artifact cache directory: golden sets, campaigns and detectors are stored per spec key and reused across invocations")
 		out   = flag.String("o", "", "write the report to this file as well as stdout")
 	)
 	flag.Parse()
@@ -34,44 +39,24 @@ func main() {
 	o.Seed = *seed
 	o.Log = os.Stderr
 
-	want := map[string]bool{}
-	for _, e := range strings.Split(*exps, ",") {
-		want[strings.TrimSpace(e)] = true
-	}
-	all := want["all"]
-	needStudy := all || want["table1"] || want["fig7"] || want["fig8"] || want["missed"] || want["compare"] || want["ablation"]
-
-	var b strings.Builder
-	section := func(name string, f func() string) {
-		if !all && !want[name] {
-			return
+	l := lab.New()
+	if *cache != "" {
+		if err := l.SetDisk(*cache); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "== %s\n", name)
-		b.WriteString(f())
-		b.WriteString("\n")
+	}
+	o.Lab = l
+
+	text, err := report.Generate(o, strings.Split(*exps, ","))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
 	}
 
-	section("fig5a", func() string { return report.Fig5a(o) })
-	section("fig5b", func() string { return report.Fig5b(o) })
-	section("fig2", func() string { return report.Fig2(o) })
-	section("fig6", func() string { return report.Fig6(o) })
-	section("table2", func() string { return report.Table2(o) })
-	section("overlap", func() string { return report.AblationOverlap(o) })
-	section("eccoff", func() string { return report.AblationECCOff(o) })
-
-	if needStudy {
-		study := report.NewStudy(o)
-		section("table1", study.Table1)
-		section("fig7", study.Fig7)
-		section("fig8", study.Fig8)
-		section("missed", study.MissedHazards)
-		section("compare", study.Comparisons)
-		section("ablation", study.AblationDetector)
-	}
-
-	fmt.Print(b.String())
+	fmt.Print(text)
 	if *out != "" {
-		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

@@ -8,8 +8,8 @@ import (
 	"fmt"
 	"os"
 
-	"diverseav/internal/campaign"
 	"diverseav/internal/core"
+	"diverseav/internal/lab"
 	"diverseav/internal/sim"
 )
 
@@ -19,6 +19,7 @@ func main() {
 		perRoute = flag.Int("runs", 2, "fault-free training runs per long route")
 		seed     = flag.Uint64("seed", 42, "training seed")
 		compare  = flag.String("compare", "alternating", "comparison mode: alternating, duplicate, temporal")
+		cache    = flag.String("cache", "", "artifact cache directory shared with cmd/experiments")
 	)
 	flag.Parse()
 
@@ -36,8 +37,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	l := lab.New()
+	if *cache != "" {
+		if err := l.SetDisk(*cache); err != nil {
+			fmt.Fprintln(os.Stderr, "traindet:", err)
+			os.Exit(1)
+		}
+	}
+
 	fmt.Fprintf(os.Stderr, "training %s detector: %d runs per route\n", *compare, *perRoute)
-	det := campaign.TrainDetector(core.DefaultConfig(), mode, cmp, *perRoute, *seed)
+	det := l.Detector(lab.DetectorSpec{Cfg: core.DefaultConfig(), Mode: mode, Compare: cmp, PerRoute: *perRoute, Seed: *seed})
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "traindet:", err)

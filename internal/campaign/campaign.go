@@ -3,112 +3,53 @@
 // execution, Table I aggregation, detector training/evaluation over the
 // (td, rw) grid (Fig 7), lead-detection-time extraction (Fig 8), and the
 // missed-hazard estimate (§VI-A).
+//
+// Campaign execution itself now lives in internal/lab as spec-keyed jobs
+// (lab.CampaignSpec and friends), where shared artifacts — golden sets,
+// profiling passes, trained detectors — are memoized and scheduled as a
+// dependency DAG. This package keeps the historical one-call API as thin
+// wrappers (each wrapper runs against a private ephemeral lab, so its
+// semantics are exactly the old ones), plus the analysis layer
+// (Evaluate, LeadTimes, MissedHazards) that consumes executed campaigns.
 package campaign
 
 import (
 	"diverseav/internal/core"
 	"diverseav/internal/fi"
-	"diverseav/internal/geom"
-	"diverseav/internal/par"
-	"diverseav/internal/rng"
+	"diverseav/internal/lab"
 	"diverseav/internal/scenario"
 	"diverseav/internal/sim"
 	"diverseav/internal/stats"
-	"diverseav/internal/trace"
 	"diverseav/internal/vm"
 )
 
-// Sizes configures campaign scale. Defaults are laptop-scale; Full
-// restores the paper's counts.
-type Sizes struct {
-	Transient int // transient injections per (target, scenario)
-	PermReps  int // repetitions of the full-ISA permanent sweep
-	// PermStride sweeps every PermStride-th opcode (1 = full ISA); used
-	// by the fast benchmark configuration.
-	PermStride int
-	Golden     int // golden runs per (scenario, mode)
-	Training   int // fault-free training runs per long route
-}
+// Re-exported lab types: campaign.Campaign and lab.Campaign are the same
+// type, so executed campaigns flow freely between the declarative lab
+// API and this package's analysis functions.
+type (
+	// Sizes configures campaign scale.
+	Sizes = lab.Sizes
+	// RunRecord is one fault-injection experiment.
+	RunRecord = lab.RunRecord
+	// Campaign is one (target, model, scenario) fault-injection campaign
+	// with its golden control runs.
+	Campaign = lab.Campaign
+	// Table1Row is one row of the paper's Table I.
+	Table1Row = lab.Table1Row
+)
 
 // DefaultSizes is fast enough for `go test -bench` on one core.
-func DefaultSizes() Sizes {
-	return Sizes{Transient: 18, PermReps: 1, PermStride: 1, Golden: 10, Training: 2}
-}
+func DefaultSizes() Sizes { return lab.DefaultSizes() }
 
 // BenchSizes keeps a full regeneration inside a few minutes on one core.
-func BenchSizes() Sizes {
-	return Sizes{Transient: 3, PermReps: 1, PermStride: 6, Golden: 3, Training: 1}
-}
+func BenchSizes() Sizes { return lab.BenchSizes() }
 
-// FullSizes mirrors the paper's campaign scale (§IV-D): 500 transient
-// injections, 3 permanent repetitions per opcode, 50 golden runs.
-func FullSizes() Sizes {
-	return Sizes{Transient: 500, PermReps: 3, PermStride: 1, Golden: 50, Training: 4}
-}
-
-// RunRecord is one fault-injection experiment.
-type RunRecord struct {
-	Plan   fi.Plan
-	Result *sim.Result
-}
-
-// Activated reports whether the fault was actually injected (the paper's
-// "#Active").
-func (r RunRecord) Activated() bool { return r.Result.Activations > 0 }
-
-// Campaign is one (target, model, scenario) fault-injection campaign
-// with its golden control runs.
-type Campaign struct {
-	ScenarioName string
-	Mode         sim.Mode
-	Target       vm.Device
-	Model        fi.Model
-	Golden       []*sim.Result
-	Runs         []RunRecord
-	// Baseline is the mean golden trajectory (same mode), the reference
-	// for trajectory-violation labeling.
-	Baseline []geom.Vec2
-}
-
-// Golden runs n fault-free experiments of the scenario in the given
-// mode, with distinct seeds derived from seedBase.
-func Golden(sc *scenario.Scenario, mode sim.Mode, n int, seedBase uint64) []*sim.Result {
-	out := make([]*sim.Result, n)
-	par.ForEach(n, func(i int) {
-		out[i] = sim.Run(sim.Config{
-			Scenario: sc,
-			Mode:     mode,
-			Seed:     seedBase + uint64(i)*7919,
-		})
-	})
-	return out
-}
-
-// Profile executes one fault-free profiling run and returns the dynamic
-// instruction profile of agent 0 (the NVBitFI/PinFI profiling pass).
-func Profile(sc *scenario.Scenario, mode sim.Mode, seed uint64) *fi.Profile {
-	var prof fi.Profile
-	sim.Run(sim.Config{Scenario: sc, Mode: mode, Seed: seed, Profile: &prof})
-	return &prof
-}
-
-// ProfileWithCheckpoints is the checkpoint-emitting profiling pass: one
-// fault-free run that records the instruction profile AND snapshots the
-// loop state every `every` steps. The profile observer never corrupts
-// anything, so the checkpoints are exactly those of a plain golden run
-// at the same seed — valid fork points for any injection run that
-// replays the seed and whose fault activates after the checkpoint.
-func ProfileWithCheckpoints(sc *scenario.Scenario, mode sim.Mode, seed uint64, every int) (*fi.Profile, []*sim.Checkpoint) {
-	var prof fi.Profile
-	res := sim.Run(sim.Config{Scenario: sc, Mode: mode, Seed: seed, Profile: &prof, CheckpointEvery: every})
-	return &prof, res.Checkpoints
-}
+// FullSizes mirrors the paper's campaign scale (§IV-D).
+func FullSizes() Sizes { return lab.FullSizes() }
 
 // DefaultCheckpointEvery is the golden-pass checkpoint interval (steps)
-// used by transient fork execution. At 40 Hz this snapshots every 1.25 s
-// of simulated time: ~24 checkpoints on the 30 s test scenarios, cheap
-// next to a single re-simulated prefix.
-const DefaultCheckpointEvery = 50
+// used by transient fork execution.
+const DefaultCheckpointEvery = lab.DefaultCheckpointEvery
 
 // Options tunes campaign execution strategy without touching its
 // experimental definition (same plans, same seeds, same results).
@@ -121,10 +62,32 @@ type Options struct {
 	CheckpointEvery int
 }
 
+// Golden runs n fault-free experiments of the scenario in the given
+// mode, with distinct seeds derived from seedBase.
+func Golden(sc *scenario.Scenario, mode sim.Mode, n int, seedBase uint64) []*sim.Result {
+	l := lab.New()
+	l.RegisterScenario(sc)
+	return l.Golden(lab.GoldenSpec{Scenario: sc.Name, Mode: mode, N: n, Seed: seedBase})
+}
+
+// Profile executes one fault-free profiling run and returns the dynamic
+// instruction profile of agent 0 (the NVBitFI/PinFI profiling pass).
+func Profile(sc *scenario.Scenario, mode sim.Mode, seed uint64) *fi.Profile {
+	l := lab.New()
+	l.RegisterScenario(sc)
+	return l.Profile(lab.ProfileSpec{Scenario: sc.Name, Mode: mode, Seed: seed})
+}
+
+// ProfileWithCheckpoints is the checkpoint-emitting profiling pass; see
+// lab.ProfileWithCheckpoints.
+func ProfileWithCheckpoints(sc *scenario.Scenario, mode sim.Mode, seed uint64, every int) (*fi.Profile, []*sim.Checkpoint) {
+	return lab.ProfileWithCheckpoints(sc, mode, seed, every)
+}
+
 // Run executes one fault-injection campaign: plans from the profile,
 // one simulation per plan, plus golden control runs.
 func Run(sc *scenario.Scenario, mode sim.Mode, target vm.Device, model fi.Model, sizes Sizes, seedBase uint64) *Campaign {
-	return RunWithGolden(sc, mode, target, model, sizes, seedBase, nil)
+	return RunWithOptions(sc, mode, target, model, sizes, seedBase, nil, Options{})
 }
 
 // RunWithGolden is Run with a pre-computed golden set (campaigns of the
@@ -134,173 +97,35 @@ func RunWithGolden(sc *scenario.Scenario, mode sim.Mode, target vm.Device, model
 	return RunWithOptions(sc, mode, target, model, sizes, seedBase, golden, Options{})
 }
 
-// RunWithOptions is the full-control campaign entry point.
-//
-// Transient campaigns follow NVBitFI's replay semantics: every injection
-// run replays the profiling run's seed, differing only in the injected
-// fault. All transient runs of a campaign therefore share one fault-free
-// prefix up to each plan's activation step, and (unless opts disables
-// it) execute by forking from the latest profiling-pass checkpoint at or
-// before that step instead of re-simulating the prefix. The fork-
-// equivalence invariant (see internal/sim) guarantees bit-identical
-// traces, so Options only changes wall-clock, never results.
-//
-// Permanent campaigns keep the cold path with per-run seeds: a permanent
-// fault corrupts from the first instruction, so no prefix is fault-free
-// and there is nothing to share.
+// RunWithOptions is the full-control one-call entry point; it builds the
+// equivalent lab.CampaignSpec and executes it in a private lab. A nil
+// golden set derives the campaign's conventional private controls
+// (sizes.Golden runs at seedBase+1000); a caller-supplied set is
+// published into the lab under that same key.
 func RunWithOptions(sc *scenario.Scenario, mode sim.Mode, target vm.Device, model fi.Model, sizes Sizes, seedBase uint64, golden []*sim.Result, opts Options) *Campaign {
-	every := opts.CheckpointEvery
-	if every == 0 {
-		every = DefaultCheckpointEvery
+	l := lab.New()
+	l.RegisterScenario(sc)
+	spec := lab.CampaignSpec{
+		Scenario:        sc.Name,
+		Mode:            mode,
+		Target:          target,
+		Model:           model,
+		Sizes:           sizes,
+		Seed:            seedBase,
+		CheckpointEvery: opts.CheckpointEvery,
 	}
-
-	var prof *fi.Profile
-	var cps []*sim.Checkpoint
-	if model == fi.Transient && every > 0 {
-		prof, cps = ProfileWithCheckpoints(sc, mode, seedBase, every)
-	} else {
-		prof = Profile(sc, mode, seedBase)
+	if golden != nil {
+		l.ProvideGolden(lab.GoldenSpec{Scenario: sc.Name, Mode: mode, N: sizes.Golden, Seed: seedBase + 1000}, golden)
 	}
-	planner := fi.NewPlanner(rng.New(seedBase ^ 0xfa017))
-	var plans []fi.Plan
-	if model == fi.Transient {
-		plans = planner.TransientPlans(target, prof, sizes.Transient)
-	} else {
-		plans = planner.PermanentPlans(target, sizes.PermReps)
-		if sizes.PermStride > 1 {
-			strided := plans[:0]
-			for i, p := range plans {
-				if i%sizes.PermStride == 0 {
-					strided = append(strided, p)
-				}
-			}
-			plans = strided
-		}
-	}
-	if golden == nil {
-		golden = Golden(sc, mode, sizes.Golden, seedBase+1000)
-	}
-
-	c := &Campaign{
-		ScenarioName: sc.Name,
-		Mode:         mode,
-		Target:       target,
-		Model:        model,
-		Golden:       golden,
-		Runs:         make([]RunRecord, len(plans)),
-	}
-	agentPick := rng.New(seedBase ^ 0xa6e27)
-	faultAgents := make([]int, len(plans))
-	for i := range faultAgents {
-		faultAgents[i] = agentPick.Intn(2)
-	}
-	nAgents := mode.Agents()
-	par.ForEach(len(plans), func(i int) {
-		plan := plans[i]
-		cfg := sim.Config{
-			Scenario:   sc,
-			Mode:       mode,
-			Fault:      &plan,
-			FaultAgent: faultAgents[i],
-		}
-		if model == fi.Transient {
-			// Replay seed: the injection run IS the profiling run plus one
-			// fault, which is what makes its prefix forkable.
-			cfg.Seed = seedBase
-			if cp := forkPoint(cps, prof, faultAgents[i]%nAgents, plan); cp != nil {
-				if res, err := sim.RunFrom(cp, cfg); err == nil {
-					c.Runs[i] = RunRecord{Plan: plan, Result: res}
-					return
-				}
-			}
-		} else {
-			cfg.Seed = seedBase + 5000 + uint64(i)*104729
-		}
-		c.Runs[i] = RunRecord{Plan: plan, Result: sim.Run(cfg)}
-	})
-	// Past the fork barrier every injection run has restored from its
-	// checkpoint; recycle the snapshot buffers for the next campaign's
-	// profiling pass.
-	sim.ReleaseCheckpoints(cps)
-
-	goldenTraces := make([]*trace.Trace, 0, len(c.Golden))
-	for _, g := range c.Golden {
-		goldenTraces = append(goldenTraces, g.Trace)
-	}
-	c.Baseline = sim.MeanTrajectory(goldenTraces)
-	return c
+	return l.Campaign(spec)
 }
 
-// forkPoint picks the latest checkpoint whose step is at or before the
-// plan's activation step — the longest shareable fault-free prefix. The
-// activation step comes from the profile's per-step instruction counts;
-// the machine counters bound the writeback DynIndex stream from above,
-// so the mapped step is never later than the true activation step
-// (forking conservatively early is always safe). A plan whose DynIndex
-// exceeds the agent's profiled stream never activates, so its run is
-// golden-equivalent and any checkpoint works: use the latest.
-func forkPoint(cps []*sim.Checkpoint, prof *fi.Profile, agent int, plan fi.Plan) *sim.Checkpoint {
-	if len(cps) == 0 {
-		return nil
-	}
-	step, ok := prof.ActivationStep(agent, plan.Target, plan.DynIndex)
-	if !ok {
-		return cps[len(cps)-1]
-	}
-	var best *sim.Checkpoint
-	for _, cp := range cps {
-		if cp.Step > step {
-			break
-		}
-		best = cp
-	}
-	return best
-}
-
-// Hazard labels one run against the baseline: an accident, or a
-// trajectory divergence of at least td meters (the paper's safety
-// violations).
-func (c *Campaign) Hazard(res *sim.Result, td float64) bool {
-	if res.Trace.Collided() {
-		return true
-	}
-	return sim.MaxTrajectoryDivergence(res.Trace, c.Baseline) >= td
-}
-
-// Table1Row is one row of the paper's Table I.
-type Table1Row struct {
-	Target       string
-	Model        string
-	Scenario     string
-	Active       int
-	HangCrash    int
-	Total        int
-	Accidents    int
-	TrajViolates int // trajectory violation without accident, td = 2 m
-}
-
-// Table1Row aggregates the campaign at the paper's td = 2 m.
-func (c *Campaign) Table1Row(td float64) Table1Row {
-	row := Table1Row{
-		Target:   c.Target.String(),
-		Model:    c.Model.String(),
-		Scenario: c.ScenarioName,
-		Total:    len(c.Runs),
-	}
-	for _, r := range c.Runs {
-		if r.Activated() || r.Result.Trace.DUE() {
-			row.Active++
-		}
-		switch {
-		case r.Result.Trace.DUE():
-			row.HangCrash++
-		case r.Result.Trace.Collided():
-			row.Accidents++
-		case sim.MaxTrajectoryDivergence(r.Result.Trace, c.Baseline) >= td:
-			row.TrajViolates++
-		}
-	}
-	return row
+// TrainDetector runs fault-free training experiments on the three long
+// routes in the given mode and trains a detector from them (§III-D: the
+// detector is trained only on long scenarios, never on the test
+// scenarios or on faulty runs).
+func TrainDetector(cfg core.Config, mode sim.Mode, cmp core.CompareMode, perRoute int, seedBase uint64) *core.Detector {
+	return lab.New().Detector(lab.DetectorSpec{Cfg: cfg, Mode: mode, Compare: cmp, PerRoute: perRoute, Seed: seedBase})
 }
 
 // EvalCell is one point of the Fig 7 precision/recall grid.
@@ -390,30 +215,4 @@ func MissedHazards(det *core.Detector, mode core.CompareMode, camps []*Campaign,
 		}
 	}
 	return missed, total
-}
-
-// TrainDetector runs fault-free training experiments on the three long
-// routes in the given mode and trains a detector from them (§III-D: the
-// detector is trained only on long scenarios, never on the test
-// scenarios or on faulty runs).
-func TrainDetector(cfg core.Config, mode sim.Mode, cmp core.CompareMode, perRoute int, seedBase uint64) *core.Detector {
-	det := core.NewDetector(cfg, cmp)
-	routes := scenario.TrainingRoutes()
-	// Index-addressed results: every worker writes its own slot, so the
-	// training-trace order (and therefore the trained thresholds) is
-	// identical for any GOMAXPROCS and across repeated runs. The previous
-	// implementation appended under a mutex, which ordered traces by
-	// worker completion time.
-	traces := make([]*trace.Trace, len(routes)*perRoute)
-	par.ForEach(len(traces), func(idx int) {
-		ri, k := idx/perRoute, idx%perRoute
-		res := sim.Run(sim.Config{
-			Scenario: routes[ri],
-			Mode:     mode,
-			Seed:     seedBase + uint64(ri*100+k)*6151,
-		})
-		traces[idx] = res.Trace
-	})
-	det.Train(traces, cmp)
-	return det
 }

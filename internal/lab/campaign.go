@@ -1,0 +1,261 @@
+package lab
+
+import (
+	"diverseav/internal/fi"
+	"diverseav/internal/geom"
+	"diverseav/internal/par"
+	"diverseav/internal/rng"
+	"diverseav/internal/scenario"
+	"diverseav/internal/sim"
+	"diverseav/internal/trace"
+	"diverseav/internal/vm"
+)
+
+// Sizes configures campaign scale. Defaults are laptop-scale; Full
+// restores the paper's counts.
+type Sizes struct {
+	Transient int // transient injections per (target, scenario)
+	PermReps  int // repetitions of the full-ISA permanent sweep
+	// PermStride sweeps every PermStride-th opcode (1 = full ISA); used
+	// by the fast benchmark configuration.
+	PermStride int
+	Golden     int // golden runs per (scenario, mode)
+	Training   int // fault-free training runs per long route
+}
+
+// DefaultSizes is fast enough for `go test -bench` on one core.
+func DefaultSizes() Sizes {
+	return Sizes{Transient: 18, PermReps: 1, PermStride: 1, Golden: 10, Training: 2}
+}
+
+// BenchSizes keeps a full regeneration inside a few minutes on one core.
+func BenchSizes() Sizes {
+	return Sizes{Transient: 3, PermReps: 1, PermStride: 6, Golden: 3, Training: 1}
+}
+
+// FullSizes mirrors the paper's campaign scale (§IV-D): 500 transient
+// injections, 3 permanent repetitions per opcode, 50 golden runs.
+func FullSizes() Sizes {
+	return Sizes{Transient: 500, PermReps: 3, PermStride: 1, Golden: 50, Training: 4}
+}
+
+// RunRecord is one fault-injection experiment.
+type RunRecord struct {
+	Plan   fi.Plan
+	Result *sim.Result
+}
+
+// Activated reports whether the fault was actually injected (the paper's
+// "#Active").
+func (r RunRecord) Activated() bool { return r.Result.Activations > 0 }
+
+// Campaign is one (target, model, scenario) fault-injection campaign
+// with its golden control runs.
+type Campaign struct {
+	ScenarioName string
+	Mode         sim.Mode
+	Target       vm.Device
+	Model        fi.Model
+	Golden       []*sim.Result
+	Runs         []RunRecord
+	// Baseline is the mean golden trajectory (same mode), the reference
+	// for trajectory-violation labeling.
+	Baseline []geom.Vec2
+}
+
+// ProfileWithCheckpoints is the checkpoint-emitting profiling pass: one
+// fault-free run that records the instruction profile AND snapshots the
+// loop state every `every` steps. The profile observer never corrupts
+// anything, so the checkpoints are exactly those of a plain golden run
+// at the same seed — valid fork points for any injection run that
+// replays the seed and whose fault activates after the checkpoint.
+func ProfileWithCheckpoints(sc *scenario.Scenario, mode sim.Mode, seed uint64, every int) (*fi.Profile, []*sim.Checkpoint) {
+	var prof fi.Profile
+	res := sim.Run(sim.Config{Scenario: sc, Mode: mode, Seed: seed, Profile: &prof, CheckpointEvery: every})
+	return &prof, res.Checkpoints
+}
+
+// DefaultCheckpointEvery is the golden-pass checkpoint interval (steps)
+// used by transient fork execution. At 40 Hz this snapshots every 1.25 s
+// of simulated time: ~24 checkpoints on the 30 s test scenarios, cheap
+// next to a single re-simulated prefix.
+const DefaultCheckpointEvery = 50
+
+// runCampaign executes a campaign spec (the job body behind
+// Lab.Campaign).
+//
+// Transient campaigns follow NVBitFI's replay semantics: every injection
+// run replays the profiling run's seed, differing only in the injected
+// fault. All transient runs of a campaign therefore share one fault-free
+// prefix up to each plan's activation step, and (unless the spec
+// disables it) execute by forking from the latest profiling-pass
+// checkpoint at or before that step instead of re-simulating the prefix.
+// The fork-equivalence invariant (see internal/sim) guarantees
+// bit-identical traces, so CheckpointEvery only changes wall-clock,
+// never results — which is why it is excluded from the spec key.
+//
+// Permanent campaigns keep the cold path with per-run seeds: a permanent
+// fault corrupts from the first instruction, so no prefix is fault-free
+// and there is nothing to share.
+func runCampaign(l *Lab, s CampaignSpec) *Campaign {
+	sc := l.scenarioByName(s.Scenario)
+	seedBase := s.Seed
+	every := s.CheckpointEvery
+	if every == 0 {
+		every = DefaultCheckpointEvery
+	}
+
+	var prof *fi.Profile
+	var cps []*sim.Checkpoint
+	if s.Model == fi.Transient && every > 0 {
+		// Checkpoints are pooled live state, released below — this pass is
+		// private to the job and never enters the artifact store.
+		prof, cps = ProfileWithCheckpoints(sc, s.Mode, seedBase, every)
+	} else {
+		prof = l.Profile(ProfileSpec{Scenario: s.Scenario, Mode: s.Mode, Seed: seedBase})
+	}
+	planner := fi.NewPlanner(rng.New(seedBase ^ 0xfa017))
+	var plans []fi.Plan
+	if s.Model == fi.Transient {
+		plans = planner.TransientPlans(s.Target, prof, s.Sizes.Transient)
+	} else {
+		plans = planner.PermanentPlans(s.Target, s.Sizes.PermReps)
+		if s.Sizes.PermStride > 1 {
+			strided := plans[:0]
+			for i, p := range plans {
+				if i%s.Sizes.PermStride == 0 {
+					strided = append(strided, p)
+				}
+			}
+			plans = strided
+		}
+	}
+	golden := l.Golden(s.Golden)
+
+	c := &Campaign{
+		ScenarioName: sc.Name,
+		Mode:         s.Mode,
+		Target:       s.Target,
+		Model:        s.Model,
+		Golden:       golden,
+		Runs:         make([]RunRecord, len(plans)),
+	}
+	agentPick := rng.New(seedBase ^ 0xa6e27)
+	faultAgents := make([]int, len(plans))
+	for i := range faultAgents {
+		faultAgents[i] = agentPick.Intn(2)
+	}
+	nAgents := s.Mode.Agents()
+	par.ForEach(len(plans), func(i int) {
+		plan := plans[i]
+		cfg := sim.Config{
+			Scenario:   sc,
+			Mode:       s.Mode,
+			Fault:      &plan,
+			FaultAgent: faultAgents[i],
+		}
+		if s.Model == fi.Transient {
+			// Replay seed: the injection run IS the profiling run plus one
+			// fault, which is what makes its prefix forkable.
+			cfg.Seed = seedBase
+			if cp := forkPoint(cps, prof, faultAgents[i]%nAgents, plan); cp != nil {
+				if res, err := sim.RunFrom(cp, cfg); err == nil {
+					c.Runs[i] = RunRecord{Plan: plan, Result: res}
+					return
+				}
+			}
+		} else {
+			cfg.Seed = seedBase + 5000 + uint64(i)*104729
+		}
+		c.Runs[i] = RunRecord{Plan: plan, Result: sim.Run(cfg)}
+	})
+	// Past the fork barrier every injection run has restored from its
+	// checkpoint; recycle the snapshot buffers for the next campaign's
+	// profiling pass.
+	sim.ReleaseCheckpoints(cps)
+
+	c.Baseline = baselineOf(golden)
+	return c
+}
+
+// baselineOf is the mean golden trajectory, the reference for
+// trajectory-violation labeling.
+func baselineOf(golden []*sim.Result) []geom.Vec2 {
+	goldenTraces := make([]*trace.Trace, 0, len(golden))
+	for _, g := range golden {
+		goldenTraces = append(goldenTraces, g.Trace)
+	}
+	return sim.MeanTrajectory(goldenTraces)
+}
+
+// forkPoint picks the latest checkpoint whose step is at or before the
+// plan's activation step — the longest shareable fault-free prefix. The
+// activation step comes from the profile's per-step instruction counts;
+// the machine counters bound the writeback DynIndex stream from above,
+// so the mapped step is never later than the true activation step
+// (forking conservatively early is always safe). A plan whose DynIndex
+// exceeds the agent's profiled stream never activates, so its run is
+// golden-equivalent and any checkpoint works: use the latest.
+func forkPoint(cps []*sim.Checkpoint, prof *fi.Profile, agent int, plan fi.Plan) *sim.Checkpoint {
+	if len(cps) == 0 {
+		return nil
+	}
+	step, ok := prof.ActivationStep(agent, plan.Target, plan.DynIndex)
+	if !ok {
+		return cps[len(cps)-1]
+	}
+	var best *sim.Checkpoint
+	for _, cp := range cps {
+		if cp.Step > step {
+			break
+		}
+		best = cp
+	}
+	return best
+}
+
+// Hazard labels one run against the baseline: an accident, or a
+// trajectory divergence of at least td meters (the paper's safety
+// violations).
+func (c *Campaign) Hazard(res *sim.Result, td float64) bool {
+	if res.Trace.Collided() {
+		return true
+	}
+	return sim.MaxTrajectoryDivergence(res.Trace, c.Baseline) >= td
+}
+
+// Table1Row is one row of the paper's Table I.
+type Table1Row struct {
+	Target       string
+	Model        string
+	Scenario     string
+	Active       int
+	HangCrash    int
+	Total        int
+	Accidents    int
+	TrajViolates int // trajectory violation without accident, td = 2 m
+}
+
+// Table1Row aggregates the campaign at the paper's td = 2 m.
+func (c *Campaign) Table1Row(td float64) Table1Row {
+	row := Table1Row{
+		Target:   c.Target.String(),
+		Model:    c.Model.String(),
+		Scenario: c.ScenarioName,
+		Total:    len(c.Runs),
+	}
+	for _, r := range c.Runs {
+		if r.Activated() || r.Result.Trace.DUE() {
+			row.Active++
+		}
+		switch {
+		case r.Result.Trace.DUE():
+			row.HangCrash++
+		case r.Result.Trace.Collided():
+			row.Accidents++
+		case sim.MaxTrajectoryDivergence(r.Result.Trace, c.Baseline) >= td:
+			row.TrajViolates++
+		}
+	}
+	return row
+}

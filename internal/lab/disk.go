@@ -1,0 +1,194 @@
+package lab
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"diverseav/internal/core"
+	"diverseav/internal/fi"
+	"diverseav/internal/sim"
+	"diverseav/internal/trace"
+)
+
+// Disk format: one gob file per artifact key, a header followed by a
+// kind-specific wire payload. Wire types are deliberately narrower than
+// the in-memory types: a sim.Result's Checkpoints (pooled live runner
+// state — env pointers, machine state, RNG state) must never be
+// serialized, so results go to disk as just (Trace, Activations), and a
+// campaign as (Plans, Results) with its golden set reattached from the
+// golden artifact and its baseline recomputed on load (MeanTrajectory is
+// exact float64 arithmetic over gob-round-tripped inputs, so the reload
+// is bit-identical). Detectors are stored as their canonical JSON
+// serialization (core.Detector.Save) inside the gob envelope.
+//
+// Any read failure — missing file, version skew, key mismatch, truncated
+// payload — falls back to recomputation; the cache can always be deleted
+// wholesale.
+
+const diskVersion = 1
+
+type diskHeader struct {
+	Version int
+	Key     string
+}
+
+type wireResult struct {
+	Trace       *trace.Trace
+	Activations uint64
+}
+
+type wireGolden struct {
+	Results []wireResult
+}
+
+type wireCampaign struct {
+	Plans   []fi.Plan
+	Results []wireResult
+}
+
+type wireProfile struct {
+	Profile *fi.Profile
+}
+
+type wireDetector struct {
+	JSON []byte
+}
+
+func ensureDir(dir string) error {
+	return os.MkdirAll(dir, 0o755)
+}
+
+func diskPath(dir, key string) string {
+	return filepath.Join(dir, key+".gob")
+}
+
+func toWireResults(results []*sim.Result) []wireResult {
+	out := make([]wireResult, len(results))
+	for i, r := range results {
+		out[i] = wireResult{Trace: r.Trace, Activations: r.Activations}
+	}
+	return out
+}
+
+func fromWireResults(results []wireResult) []*sim.Result {
+	out := make([]*sim.Result, len(results))
+	for i, r := range results {
+		out[i] = &sim.Result{Trace: r.Trace, Activations: r.Activations}
+	}
+	return out
+}
+
+// saveDisk writes the artifact atomically (temp file + rename), so a
+// concurrent or killed writer never leaves a torn file behind.
+func (l *Lab) saveDisk(s Spec, key, dir string, v any) error {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(diskHeader{Version: diskVersion, Key: key}); err != nil {
+		return err
+	}
+	var err error
+	switch s.(type) {
+	case GoldenSpec:
+		err = enc.Encode(wireGolden{Results: toWireResults(v.([]*sim.Result))})
+	case ProfileSpec:
+		err = enc.Encode(wireProfile{Profile: v.(*fi.Profile)})
+	case CampaignSpec:
+		c := v.(*Campaign)
+		w := wireCampaign{Plans: make([]fi.Plan, len(c.Runs)), Results: make([]wireResult, len(c.Runs))}
+		for i, r := range c.Runs {
+			w.Plans[i] = r.Plan
+			w.Results[i] = wireResult{Trace: r.Result.Trace, Activations: r.Result.Activations}
+		}
+		err = enc.Encode(w)
+	case DetectorSpec:
+		var js bytes.Buffer
+		if err := v.(*core.Detector).Save(&js); err != nil {
+			return err
+		}
+		err = enc.Encode(wireDetector{JSON: js.Bytes()})
+	default:
+		return fmt.Errorf("lab: no wire format for %T", s)
+	}
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "."+key+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), diskPath(dir, key))
+}
+
+// loadDisk reads an artifact back, reporting ok=false on any mismatch so
+// the caller recomputes.
+func (l *Lab) loadDisk(s Spec, key, dir string) (any, bool) {
+	f, err := os.Open(diskPath(dir, key))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(f)
+	var h diskHeader
+	if err := dec.Decode(&h); err != nil || h.Version != diskVersion || h.Key != key {
+		return nil, false
+	}
+	switch s := s.(type) {
+	case GoldenSpec:
+		var w wireGolden
+		if err := dec.Decode(&w); err != nil || len(w.Results) != s.N {
+			return nil, false
+		}
+		return fromWireResults(w.Results), true
+	case ProfileSpec:
+		var w wireProfile
+		if err := dec.Decode(&w); err != nil || w.Profile == nil {
+			return nil, false
+		}
+		return w.Profile, true
+	case CampaignSpec:
+		var w wireCampaign
+		if err := dec.Decode(&w); err != nil || len(w.Plans) != len(w.Results) {
+			return nil, false
+		}
+		// Reattach the golden dependency (a lab artifact in its own right,
+		// possibly itself a disk hit) and rebuild the derived baseline.
+		golden := l.Golden(s.Golden)
+		c := &Campaign{
+			ScenarioName: s.Scenario,
+			Mode:         s.Mode,
+			Target:       s.Target,
+			Model:        s.Model,
+			Golden:       golden,
+			Runs:         make([]RunRecord, len(w.Plans)),
+			Baseline:     baselineOf(golden),
+		}
+		for i := range w.Plans {
+			c.Runs[i] = RunRecord{Plan: w.Plans[i], Result: &sim.Result{Trace: w.Results[i].Trace, Activations: w.Results[i].Activations}}
+		}
+		return c, true
+	case DetectorSpec:
+		var w wireDetector
+		if err := dec.Decode(&w); err != nil {
+			return nil, false
+		}
+		det, err := core.Load(bytes.NewReader(w.JSON))
+		if err != nil {
+			return nil, false
+		}
+		return det, true
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,283 @@
+// Package lab is the experiment orchestration layer: a declarative
+// front-end over the simulator in which every artifact of the paper's
+// evaluation pipeline — golden control runs, profiling passes,
+// fault-injection campaigns, trained detectors — is named by a typed
+// Spec with a stable content-hash Key.
+//
+// A Lab is a memoizing artifact store plus a dependency-aware scheduler.
+// Require expands a set of requested specs into a job DAG (campaigns
+// depend on their golden sets and, for cold/permanent execution, on
+// shared profiling passes) and executes independent jobs concurrently on
+// the internal/par pool; artifacts are computed once per key and served
+// from memory afterwards. With SetDisk, artifacts additionally persist
+// as gob files, so a warm cache makes repeat invocations
+// simulation-free. Results are deterministic regardless of worker count
+// or completion order: jobs only write their own keyed slot, and every
+// simulation seed is fixed by the spec.
+package lab
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"diverseav/internal/core"
+	"diverseav/internal/fi"
+	"diverseav/internal/par"
+	"diverseav/internal/scenario"
+	"diverseav/internal/sim"
+)
+
+// Lab memoizes experiment artifacts by spec key and schedules their
+// computation. The zero value is not usable; call New.
+type Lab struct {
+	mu       sync.Mutex
+	mem      map[string]any
+	inflight map[string]chan struct{}
+	registry map[string]*scenario.Scenario
+	dir      string // "" = memory only
+
+	logMu sync.Mutex
+	logf  func(format string, args ...any)
+
+	computed atomic.Int64
+	memHits  atomic.Int64
+	diskHits atomic.Int64
+}
+
+// New returns an empty in-memory lab.
+func New() *Lab {
+	return &Lab{
+		mem:      make(map[string]any),
+		inflight: make(map[string]chan struct{}),
+		registry: make(map[string]*scenario.Scenario),
+	}
+}
+
+// SetDisk enables the gob-on-disk artifact layer rooted at dir (created
+// if missing). Artifacts already on disk are loaded instead of computed;
+// newly computed artifacts are written back. Disk errors are never
+// fatal: a bad or stale file just means the artifact is recomputed.
+func (l *Lab) SetDisk(dir string) error {
+	if err := ensureDir(dir); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.dir = dir
+	l.mu.Unlock()
+	return nil
+}
+
+// SetLog installs a progress logger (nil disables logging).
+func (l *Lab) SetLog(f func(format string, args ...any)) {
+	l.logMu.Lock()
+	l.logf = f
+	l.logMu.Unlock()
+}
+
+func (l *Lab) log(format string, args ...any) {
+	l.logMu.Lock()
+	f := l.logf
+	l.logMu.Unlock()
+	if f != nil {
+		f(format, args...)
+	}
+}
+
+// RegisterScenario makes sc resolvable by name for this lab's jobs,
+// taking precedence over the built-in scenario library. Registering a
+// variant under a library name (e.g. a shortened "LeadSlowdown" in
+// tests) is allowed, but note that spec keys identify scenarios by name:
+// don't mix such variants with a shared disk cache.
+func (l *Lab) RegisterScenario(sc *scenario.Scenario) {
+	l.mu.Lock()
+	l.registry[sc.Name] = sc
+	l.mu.Unlock()
+}
+
+func (l *Lab) scenarioByName(name string) *scenario.Scenario {
+	l.mu.Lock()
+	sc := l.registry[name]
+	l.mu.Unlock()
+	if sc != nil {
+		return sc
+	}
+	if sc := scenario.ByName(name); sc != nil {
+		return sc
+	}
+	panic(fmt.Sprintf("lab: unknown scenario %q (not registered and not in the library)", name))
+}
+
+// Stats reports store activity since New.
+type Stats struct {
+	Computed   int64 // artifacts computed by running simulations
+	MemoryHits int64 // requests served from the in-memory store
+	DiskHits   int64 // artifacts loaded from the disk cache
+}
+
+// Stats returns a snapshot of store counters.
+func (l *Lab) Stats() Stats {
+	return Stats{
+		Computed:   l.computed.Load(),
+		MemoryHits: l.memHits.Load(),
+		DiskHits:   l.diskHits.Load(),
+	}
+}
+
+// get returns the artifact for s, computing (or disk-loading) it at most
+// once per key across all goroutines: concurrent requests for the same
+// key block on a single in-flight computation.
+func (l *Lab) get(s Spec) any {
+	s = s.normalize()
+	key := s.Key()
+	for {
+		l.mu.Lock()
+		if v, ok := l.mem[key]; ok {
+			l.mu.Unlock()
+			l.memHits.Add(1)
+			return v
+		}
+		if ch, ok := l.inflight[key]; ok {
+			l.mu.Unlock()
+			<-ch
+			continue // the winner has published to mem
+		}
+		ch := make(chan struct{})
+		l.inflight[key] = ch
+		dir := l.dir
+		l.mu.Unlock()
+
+		v := l.produce(s, key, dir)
+
+		l.mu.Lock()
+		l.mem[key] = v
+		delete(l.inflight, key)
+		l.mu.Unlock()
+		close(ch)
+		return v
+	}
+}
+
+func (l *Lab) produce(s Spec, key, dir string) any {
+	if dir != "" {
+		if v, ok := l.loadDisk(s, key, dir); ok {
+			l.diskHits.Add(1)
+			l.log("lab: loaded %s", key)
+			return v
+		}
+	}
+	l.log("lab: computing %s", key)
+	v := s.run(l)
+	l.computed.Add(1)
+	if dir != "" {
+		if err := l.saveDisk(s, key, dir, v); err != nil {
+			l.log("lab: cache write %s: %v", key, err)
+		}
+	}
+	return v
+}
+
+// provide publishes a precomputed artifact under s's key, so subsequent
+// requests are memory hits. Used by compatibility wrappers that accept
+// caller-supplied golden sets.
+func (l *Lab) provide(s Spec, v any) {
+	key := s.normalize().Key()
+	l.mu.Lock()
+	l.mem[key] = v
+	l.mu.Unlock()
+}
+
+// Require materializes every requested artifact, scheduling the full
+// dependency closure as a job DAG on the internal/par pool: independent
+// jobs (different campaigns, detector training, unrelated golden sets)
+// run concurrently, and a job starts only once its dependencies are
+// stored. Artifacts already memoized are not re-run. After Require
+// returns, the typed getters below are cheap memory hits, in whatever
+// order the caller reads them.
+func (l *Lab) Require(specs ...Spec) {
+	type node struct {
+		spec    Spec
+		pending atomic.Int32 // unresolved deps
+		blocks  []*node      // nodes waiting on this one
+	}
+	nodes := make(map[string]*node)
+	var order []*node // insertion order, for deterministic seeding of the queue
+
+	// Expand the dependency closure. Specs whose artifacts are already in
+	// memory are pruned (their deps too, unless needed elsewhere).
+	var add func(s Spec) *node
+	add = func(s Spec) *node {
+		s = s.normalize()
+		key := s.Key()
+		if n, ok := nodes[key]; ok {
+			return n
+		}
+		l.mu.Lock()
+		_, done := l.mem[key]
+		l.mu.Unlock()
+		if done {
+			return nil
+		}
+		n := &node{spec: s}
+		nodes[key] = n
+		order = append(order, n)
+		for _, d := range s.deps() {
+			if dn := add(d); dn != nil {
+				dn.blocks = append(dn.blocks, n)
+				n.pending.Add(1)
+			}
+		}
+		return n
+	}
+	for _, s := range specs {
+		add(s)
+	}
+	if len(order) == 0 {
+		return
+	}
+
+	// Ready queue, buffered to hold every node so completions never block.
+	ready := make(chan *node, len(order))
+	for _, n := range order {
+		if n.pending.Load() == 0 {
+			ready <- n
+		}
+	}
+	var remaining atomic.Int64
+	remaining.Store(int64(len(order)))
+
+	workers := par.Workers()
+	if workers > len(order) {
+		workers = len(order)
+	}
+	par.ForEach(workers, func(int) {
+		for n := range ready {
+			l.get(n.spec) // memoizes; concurrent duplicate keys coalesce
+			for _, b := range n.blocks {
+				if b.pending.Add(-1) == 0 {
+					ready <- b
+				}
+			}
+			if remaining.Add(-1) == 0 {
+				close(ready)
+			}
+		}
+	})
+}
+
+// Golden returns the golden control runs for s, computing them if needed.
+func (l *Lab) Golden(s GoldenSpec) []*sim.Result { return l.get(s).([]*sim.Result) }
+
+// Profile returns the fault-free instruction profile for s, computing it
+// if needed.
+func (l *Lab) Profile(s ProfileSpec) *fi.Profile { return l.get(s).(*fi.Profile) }
+
+// Campaign returns the executed campaign for s, computing it if needed.
+func (l *Lab) Campaign(s CampaignSpec) *Campaign { return l.get(s).(*Campaign) }
+
+// Detector returns the trained detector for s, computing it if needed.
+func (l *Lab) Detector(s DetectorSpec) *core.Detector { return l.get(s).(*core.Detector) }
+
+// ProvideGolden publishes a caller-computed golden set under s's key, so
+// campaigns depending on s reuse it instead of re-simulating.
+func (l *Lab) ProvideGolden(s GoldenSpec, golden []*sim.Result) { l.provide(s, golden) }

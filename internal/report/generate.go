@@ -1,0 +1,88 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// section is one report section: its -e selector name, whether it needs
+// the campaign study, and its renderer.
+type section struct {
+	name  string
+	study bool
+	fn    func(o Options, s *Study) string
+}
+
+// sections fixes the report's section order; Generate emits selected
+// sections in exactly this order regardless of how they were requested.
+var sections = []section{
+	{"fig5a", false, func(o Options, _ *Study) string { return Fig5a(o) }},
+	{"fig5b", false, func(o Options, _ *Study) string { return Fig5b(o) }},
+	{"fig2", false, func(o Options, _ *Study) string { return Fig2(o) }},
+	{"fig6", false, func(o Options, _ *Study) string { return Fig6(o) }},
+	{"table2", false, func(o Options, _ *Study) string { return Table2(o) }},
+	{"overlap", false, func(o Options, _ *Study) string { return AblationOverlap(o) }},
+	{"eccoff", false, func(o Options, _ *Study) string { return AblationECCOff(o) }},
+	{"table1", true, func(_ Options, s *Study) string { return s.Table1() }},
+	{"fig7", true, func(_ Options, s *Study) string { return s.Fig7() }},
+	{"fig8", true, func(_ Options, s *Study) string { return s.Fig8() }},
+	{"missed", true, func(_ Options, s *Study) string { return s.MissedHazards() }},
+	{"compare", true, func(_ Options, s *Study) string { return s.Comparisons() }},
+	{"ablation", true, func(_ Options, s *Study) string { return s.AblationDetector() }},
+}
+
+// ExperimentNames lists the valid section selectors in report order
+// (excluding the "all" shorthand).
+func ExperimentNames() []string {
+	names := make([]string, len(sections))
+	for i, s := range sections {
+		names[i] = s.name
+	}
+	return names
+}
+
+// Generate renders the requested report sections ("all" selects every
+// section) in the fixed report order and returns the combined text.
+// Unknown names are an error listing the valid ones. The study behind
+// the campaign-based sections is built at most once, against o.Lab when
+// set — so selecting several study sections shares one set of campaigns,
+// and a warm disk cache makes the whole call simulation-free.
+func Generate(o Options, names []string) (string, error) {
+	want := map[string]bool{}
+	for _, n := range names {
+		if n = strings.TrimSpace(n); n != "" {
+			want[n] = true
+		}
+	}
+	valid := map[string]bool{"all": true}
+	for _, s := range sections {
+		valid[s.name] = true
+	}
+	var unknown []string
+	for n := range want {
+		if !valid[n] {
+			unknown = append(unknown, n)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return "", fmt.Errorf("unknown experiment(s): %s (valid: %s, all)",
+			strings.Join(unknown, ", "), strings.Join(ExperimentNames(), ", "))
+	}
+	all := want["all"]
+	var b strings.Builder
+	var study *Study
+	for _, sec := range sections {
+		if !all && !want[sec.name] {
+			continue
+		}
+		o.logf("== %s", sec.name)
+		if sec.study && study == nil {
+			study = NewStudy(o)
+		}
+		b.WriteString(sec.fn(o, study))
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}

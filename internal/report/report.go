@@ -3,6 +3,13 @@
 // twelve fault-injection campaigns, the baseline-comparison campaigns and
 // the characterization experiments, and formats the results. Both
 // cmd/experiments and the repository benchmarks drive this package.
+//
+// The heavy lifting is declared against internal/lab: NewStudy builds
+// the full set of artifact specs (three detectors, three golden sets per
+// scenario, eighteen campaigns) and hands them to the lab scheduler,
+// which runs independent jobs concurrently and memoizes shared
+// artifacts. Collection order — and therefore every report byte — is
+// fixed by the spec lists, not by job completion order.
 package report
 
 import (
@@ -14,6 +21,7 @@ import (
 	"diverseav/internal/campaign"
 	"diverseav/internal/core"
 	"diverseav/internal/fi"
+	"diverseav/internal/lab"
 	"diverseav/internal/scenario"
 	"diverseav/internal/sim"
 	"diverseav/internal/stats"
@@ -28,6 +36,10 @@ type Options struct {
 	Seed  uint64
 	// Log receives progress lines (nil = silent).
 	Log io.Writer
+	// Lab is the artifact store/scheduler the study runs against. Nil
+	// selects a fresh in-memory lab; supply one (possibly disk-backed,
+	// see lab.SetDisk) to share artifacts across studies or invocations.
+	Lab *lab.Lab
 }
 
 // DefaultOptions is the scale used by cmd/experiments.
@@ -59,6 +71,8 @@ func (o Options) logf(format string, args ...any) {
 // detectors and the executed campaigns in all three agent modes.
 type Study struct {
 	Opts Options
+	// Lab is the store the study's artifacts live in.
+	Lab *lab.Lab
 	// Detectors per comparison scheme, trained on the fault-free long
 	// routes in the matching agent mode.
 	Det       *core.Detector // DiverseAV (alternating)
@@ -71,37 +85,93 @@ type Study struct {
 	Single []*campaign.Campaign
 }
 
-// NewStudy trains the detectors and runs every campaign.
-func NewStudy(o Options) *Study {
-	s := &Study{Opts: o}
-	o.logf("training DiverseAV detector (round-robin long routes)")
-	s.Det = campaign.TrainDetector(core.DefaultConfig(), sim.RoundRobin, core.CompareAlternating, o.Sizes.Training, o.Seed)
-	o.logf("training FD baseline detector (duplicate long routes)")
-	s.FDDet = campaign.TrainDetector(core.DefaultConfig(), sim.Duplicate, core.CompareDuplicate, o.Sizes.Training, o.Seed+101)
-	o.logf("training single-agent baseline detector (single long routes)")
-	s.SingleDet = campaign.TrainDetector(core.DefaultConfig(), sim.Single, core.CompareTemporal, o.Sizes.Training, o.Seed+202)
+// studySpecs is the study's declarative artifact manifest. Every seed is
+// written out explicitly (they predate the lab and are pinned by the
+// golden report test): campaigns of the same scenario and mode share one
+// golden set, exactly like the paper's 50 golden runs per scenario.
+type studySpecs struct {
+	det, fdDet, singleDet lab.DetectorSpec
+	rr, fd, single        []lab.CampaignSpec
+}
+
+func buildSpecs(o Options) studySpecs {
+	var sp studySpecs
+	sp.det = lab.DetectorSpec{Cfg: core.DefaultConfig(), Mode: sim.RoundRobin, Compare: core.CompareAlternating, PerRoute: o.Sizes.Training, Seed: o.Seed}
+	sp.fdDet = lab.DetectorSpec{Cfg: core.DefaultConfig(), Mode: sim.Duplicate, Compare: core.CompareDuplicate, PerRoute: o.Sizes.Training, Seed: o.Seed + 101}
+	sp.singleDet = lab.DetectorSpec{Cfg: core.DefaultConfig(), Mode: sim.Single, Compare: core.CompareTemporal, PerRoute: o.Sizes.Training, Seed: o.Seed + 202}
 
 	for si, sc := range scenario.SafetyCritical() {
 		base := o.Seed + uint64(si)*1_000_000
-		goldenRR := campaign.Golden(sc, sim.RoundRobin, o.Sizes.Golden, base+1000)
+		goldenRR := lab.GoldenSpec{Scenario: sc.Name, Mode: sim.RoundRobin, N: o.Sizes.Golden, Seed: base + 1000}
 		for _, target := range []vm.Device{vm.GPU, vm.CPU} {
 			for _, model := range []fi.Model{fi.Permanent, fi.Transient} {
-				o.logf("campaign %s %s-%s (round-robin)", sc.Name, target, model)
-				c := campaign.RunWithGolden(sc, sim.RoundRobin, target, model, o.Sizes, base+uint64(target)*31+uint64(model)*57, goldenRR)
-				s.RR = append(s.RR, c)
+				sp.rr = append(sp.rr, lab.CampaignSpec{
+					Scenario: sc.Name, Mode: sim.RoundRobin, Target: target, Model: model,
+					Sizes: o.Sizes, Seed: base + uint64(target)*31 + uint64(model)*57, Golden: goldenRR,
+				})
 			}
 		}
 		// Baseline campaigns: GPU faults only (the paper's §VI
 		// comparison is on the GPU campaigns, where SDCs occur).
-		goldenFD := campaign.Golden(sc, sim.Duplicate, o.Sizes.Golden, base+2000)
-		goldenSG := campaign.Golden(sc, sim.Single, o.Sizes.Golden, base+3000)
+		goldenFD := lab.GoldenSpec{Scenario: sc.Name, Mode: sim.Duplicate, N: o.Sizes.Golden, Seed: base + 2000}
+		goldenSG := lab.GoldenSpec{Scenario: sc.Name, Mode: sim.Single, N: o.Sizes.Golden, Seed: base + 3000}
 		for _, model := range []fi.Model{fi.Permanent, fi.Transient} {
-			o.logf("campaign %s GPU-%s (duplicate baseline)", sc.Name, model)
-			s.FD = append(s.FD, campaign.RunWithGolden(sc, sim.Duplicate, vm.GPU, model, o.Sizes, base+4000+uint64(model), goldenFD))
-			o.logf("campaign %s GPU-%s (single baseline)", sc.Name, model)
-			s.Single = append(s.Single, campaign.RunWithGolden(sc, sim.Single, vm.GPU, model, o.Sizes, base+5000+uint64(model), goldenSG))
+			sp.fd = append(sp.fd, lab.CampaignSpec{
+				Scenario: sc.Name, Mode: sim.Duplicate, Target: vm.GPU, Model: model,
+				Sizes: o.Sizes, Seed: base + 4000 + uint64(model), Golden: goldenFD,
+			})
+			sp.single = append(sp.single, lab.CampaignSpec{
+				Scenario: sc.Name, Mode: sim.Single, Target: vm.GPU, Model: model,
+				Sizes: o.Sizes, Seed: base + 5000 + uint64(model), Golden: goldenSG,
+			})
 		}
 	}
+	return sp
+}
+
+// NewStudy materializes the full study: it declares every artifact
+// against the lab, lets the scheduler run the dependency DAG with
+// whatever concurrency the machine offers, then collects the results in
+// the fixed historical order.
+func NewStudy(o Options) *Study {
+	l := o.Lab
+	if l == nil {
+		l = lab.New()
+	}
+	if o.Log != nil {
+		log := o.Log
+		l.SetLog(func(format string, args ...any) { fmt.Fprintf(log, format+"\n", args...) })
+	}
+	s := &Study{Opts: o, Lab: l}
+	sp := buildSpecs(o)
+
+	specs := []lab.Spec{sp.det, sp.fdDet, sp.singleDet}
+	for _, cs := range sp.rr {
+		specs = append(specs, cs)
+	}
+	for _, cs := range sp.fd {
+		specs = append(specs, cs)
+	}
+	for _, cs := range sp.single {
+		specs = append(specs, cs)
+	}
+	o.logf("study: scheduling %d artifacts (3 detectors, %d campaigns)", len(specs), len(sp.rr)+len(sp.fd)+len(sp.single))
+	l.Require(specs...)
+
+	s.Det = l.Detector(sp.det)
+	s.FDDet = l.Detector(sp.fdDet)
+	s.SingleDet = l.Detector(sp.singleDet)
+	for _, cs := range sp.rr {
+		s.RR = append(s.RR, l.Campaign(cs))
+	}
+	for _, cs := range sp.fd {
+		s.FD = append(s.FD, l.Campaign(cs))
+	}
+	for _, cs := range sp.single {
+		s.Single = append(s.Single, l.Campaign(cs))
+	}
+	st := l.Stats()
+	o.logf("study: ready (computed %d artifacts, %d memory hits, %d disk hits)", st.Computed, st.MemoryHits, st.DiskHits)
 	return s
 }
 
@@ -147,6 +217,16 @@ func (s *Study) Table1() string {
 // DiverseAV detector on the GPU campaigns.
 func (s *Study) Fig7() string {
 	cells := campaign.Evaluate(s.Det, core.CompareAlternating, s.GPUCampaigns(), s.Opts.TDs, s.Opts.RWs)
+	// Evaluate emits exactly one cell per (td, rw) grid point; index them
+	// once instead of scanning the whole slice at every position.
+	type gridKey struct {
+		td float64
+		rw int
+	}
+	byKey := make(map[gridKey]campaign.EvalCell, len(cells))
+	for _, c := range cells {
+		byKey[gridKey{c.TD, c.RW}] = c
+	}
 	var b strings.Builder
 	grid := func(title string, get func(campaign.EvalCell) float64) {
 		fmt.Fprintf(&b, "%s (rows: td, cols: rw)\n        ", title)
@@ -157,10 +237,8 @@ func (s *Study) Fig7() string {
 		for _, td := range s.Opts.TDs {
 			fmt.Fprintf(&b, "td=%.0fm  ", td)
 			for _, rw := range s.Opts.RWs {
-				for _, c := range cells {
-					if c.TD == td && c.RW == rw {
-						fmt.Fprintf(&b, "%.2f    ", get(c))
-					}
+				if c, ok := byKey[gridKey{td, rw}]; ok {
+					fmt.Fprintf(&b, "%.2f    ", get(c))
 				}
 			}
 			b.WriteString("\n")
