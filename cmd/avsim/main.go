@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"diverseav/internal/fi"
+	"diverseav/internal/obs"
 	"diverseav/internal/scenario"
 	"diverseav/internal/sensor"
 	"diverseav/internal/sim"
@@ -19,18 +20,29 @@ import (
 
 func main() {
 	var (
-		scen   = flag.String("scenario", "LeadSlowdown", "scenario name (LeadSlowdown, GhostCutIn, FrontAccident, Town01-Route02, Town03-Route15, Town06-Route42)")
-		mode   = flag.String("mode", "diverseav", "agent mode: single, diverseav, duplicate")
-		seed   = flag.Uint64("seed", 1, "run seed")
-		asJSON = flag.Bool("json", false, "emit the full trace as JSON")
-		view   = flag.Bool("view", false, "print a per-second trace table and a mid-run ASCII camera frame")
-		target = flag.String("fault-target", "", "inject a fault: CPU or GPU (empty = golden run)")
-		model  = flag.String("fault-model", "transient", "fault model: transient or permanent")
-		opcode = flag.Int("fault-opcode", int(vm.FMUL), "opcode index for permanent faults")
-		dyn    = flag.Uint64("fault-dyn", 1_000_000, "dynamic instruction index for transient faults")
-		bit    = flag.Uint("fault-bit", 52, "bit position to XOR")
+		scen      = flag.String("scenario", "LeadSlowdown", "scenario name (LeadSlowdown, GhostCutIn, FrontAccident, Town01-Route02, Town03-Route15, Town06-Route42)")
+		mode      = flag.String("mode", "diverseav", "agent mode: single, diverseav, duplicate")
+		seed      = flag.Uint64("seed", 1, "run seed")
+		asJSON    = flag.Bool("json", false, "emit the full trace as JSON")
+		view      = flag.Bool("view", false, "print a per-second trace table and a mid-run ASCII camera frame")
+		target    = flag.String("fault-target", "", "inject a fault: CPU or GPU (empty = golden run)")
+		model     = flag.String("fault-model", "transient", "fault model: transient or permanent")
+		opcode    = flag.Int("fault-opcode", int(vm.FMUL), "opcode index for permanent faults")
+		dyn       = flag.Uint64("fault-dyn", 1_000_000, "dynamic instruction index for transient faults")
+		bit       = flag.Uint("fault-bit", 52, "bit position to XOR")
+		telemetry = flag.String("telemetry", "", "write a JSONL run ledger (meta + end-of-run metrics) to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
+
+	sess, err := obs.StartTelemetry("avsim", *telemetry, *debugAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avsim:", err)
+		os.Exit(1)
+	}
+	if addr := sess.DebugAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "avsim: debug server on http://%s/debug/vars\n", addr)
+	}
 
 	sc := scenario.ByName(*scen)
 	if sc == nil {
@@ -82,6 +94,12 @@ func main() {
 	}
 
 	res := sim.Run(cfg)
+	// The summary goes to stderr so it composes with -json on stdout.
+	defer func() {
+		if err := sess.Close(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "avsim:", err)
+		}
+	}()
 	tr := res.Trace
 	if *view {
 		if midFrame != nil {

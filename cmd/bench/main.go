@@ -32,6 +32,7 @@ import (
 	"diverseav/internal/fi"
 	"diverseav/internal/geom"
 	"diverseav/internal/lab"
+	"diverseav/internal/obs"
 	"diverseav/internal/report"
 	"diverseav/internal/scenario"
 	"diverseav/internal/sensor"
@@ -50,12 +51,18 @@ type Entry struct {
 	StepsPerSec float64 `json:"steps_per_sec,omitempty"`
 }
 
-// Report is the full output file.
+// Report is the full output file. The environment block (Go version,
+// GOMAXPROCS, CPU count, platform, git SHA) makes a stored report
+// self-describing: a regression diff against a file from a different
+// machine or commit is visible as such.
 type Report struct {
 	Date       string  `json:"date"`
 	GoVersion  string  `json:"go_version"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
 	NumCPU     int     `json:"num_cpu"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	GitSHA     string  `json:"git_sha,omitempty"`
 	Entries    []Entry `json:"entries"`
 }
 
@@ -161,9 +168,12 @@ func benchRunFromCheckpoint(stepsOut *int) func(b *testing.B) {
 // ratio is the memoization win and the cold number tracks scheduler
 // overhead plus raw simulation throughput. StepsPerSec (cold only) is
 // over the study's injection-run traces.
-func benchStudy() (cold, warm time.Duration, steps int, stats lab.Stats) {
+func benchStudy(sess *obs.Session) (cold, warm time.Duration, steps int, stats lab.Stats) {
 	o := report.BenchOptions()
 	l := lab.New()
+	if sess != nil {
+		l.SetLedger(sess.Ledger)
+	}
 	o.Lab = l
 	start := time.Now()
 	study := report.NewStudy(o)
@@ -273,7 +283,18 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole suite to this file")
 	memprofile := flag.String("memprofile", "", "write a post-suite heap profile to this file")
 	study := flag.Bool("study", true, "include the bench-size study wall-clock entries (cold vs warm lab cache; adds minutes)")
+	telemetry := flag.String("telemetry", "", "write a JSONL run ledger to this file (note: enabling telemetry perturbs the measured hot paths)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address")
 	flag.Parse()
+
+	sess, err := obs.StartTelemetry("bench", *telemetry, *debugAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	if addr := sess.DebugAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "bench: debug server on http://%s/debug/vars\n", addr)
+	}
 	if *benchtime != "" {
 		// testing.Benchmark honors the -test.benchtime flag.
 		if err := flag.CommandLine.Set("test.benchtime", *benchtime); err != nil {
@@ -294,6 +315,9 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GitSHA:     obs.GitSHA(),
 	}
 
 	addEntry := func(e Entry) {
@@ -360,7 +384,7 @@ func main() {
 	add("geom/project-full", testing.Benchmark(benchProject), 0)
 	add("geom/project-near", testing.Benchmark(benchProjectNear), 0)
 	if *study {
-		cold, warm, studySteps, st := benchStudy()
+		cold, warm, studySteps, st := benchStudy(sess)
 		addEntry(Entry{
 			Name:        "study/bench-cold",
 			Iterations:  1,
@@ -409,6 +433,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("wrote", path)
+	if err := sess.Close(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
 }
 
 // loadPreviousReport finds the newest BENCH_*.json in the working

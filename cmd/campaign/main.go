@@ -12,6 +12,7 @@ import (
 	"diverseav/internal/campaign"
 	"diverseav/internal/fi"
 	"diverseav/internal/lab"
+	"diverseav/internal/obs"
 	"diverseav/internal/scenario"
 	"diverseav/internal/sim"
 	"diverseav/internal/vm"
@@ -19,16 +20,27 @@ import (
 
 func main() {
 	var (
-		scen    = flag.String("scenario", "LeadSlowdown", "scenario name")
-		target  = flag.String("target", "GPU", "fault target: CPU or GPU")
-		model   = flag.String("model", "permanent", "fault model: transient or permanent")
-		full    = flag.Bool("full", false, "paper-scale campaign (500 transient / 3 reps / 50 golden)")
-		seed    = flag.Uint64("seed", 7, "campaign seed")
-		td      = flag.Float64("td", 2, "trajectory-violation threshold, meters")
-		cache   = flag.String("cache", "", "artifact cache directory shared with cmd/experiments")
-		verbose = flag.Bool("v", false, "print per-run outcomes")
+		scen      = flag.String("scenario", "LeadSlowdown", "scenario name")
+		target    = flag.String("target", "GPU", "fault target: CPU or GPU")
+		model     = flag.String("model", "permanent", "fault model: transient or permanent")
+		full      = flag.Bool("full", false, "paper-scale campaign (500 transient / 3 reps / 50 golden)")
+		seed      = flag.Uint64("seed", 7, "campaign seed")
+		td        = flag.Float64("td", 2, "trajectory-violation threshold, meters")
+		cache     = flag.String("cache", "", "artifact cache directory shared with cmd/experiments")
+		verbose   = flag.Bool("v", false, "print per-run outcomes")
+		telemetry = flag.String("telemetry", "", "write a JSONL run ledger (job spans + end-of-run metrics) to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	sess, err := obs.StartTelemetry("campaign", *telemetry, *debugAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(1)
+	}
+	if addr := sess.DebugAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "campaign: debug server on http://%s/debug/vars\n", addr)
+	}
 
 	if scenario.ByName(*scen) == nil {
 		fmt.Fprintf(os.Stderr, "campaign: unknown scenario %q\n", *scen)
@@ -55,15 +67,28 @@ func main() {
 		}
 	}
 	l.SetLog(func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) })
+	if sess != nil {
+		l.SetLedger(sess.Ledger)
+	}
+	var pr *obs.Progress
+	if obs.StderrIsTerminal() {
+		pr = obs.NewProgress(os.Stderr, "campaign")
+		l.SetProgress(pr.Update)
+	}
 
-	c := l.Campaign(lab.CampaignSpec{
+	spec := lab.CampaignSpec{
 		Scenario: *scen,
 		Mode:     sim.RoundRobin,
 		Target:   dev,
 		Model:    mdl,
 		Sizes:    sizes,
 		Seed:     *seed,
-	})
+	}
+	// Require schedules through the DAG executor, which is what emits the
+	// per-job spans; the typed getter then hits the store.
+	l.Require(spec)
+	pr.Done()
+	c := l.Campaign(spec)
 	row := c.Table1Row(*td)
 	fmt.Printf("%s-%s on %s: total=%d active=%d hang/crash=%d accidents=%d traj-violations=%d (td=%.0fm)\n",
 		row.Target, row.Model, row.Scenario, row.Total, row.Active, row.HangCrash,
@@ -74,5 +99,9 @@ func main() {
 			fmt.Printf("  %-36s act=%-9d outcome=%-10s dpos=%6.2fm\n",
 				r.Plan, r.Result.Activations, r.Result.Trace.Outcome, d)
 		}
+	}
+	if err := sess.Close(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(1)
 	}
 }

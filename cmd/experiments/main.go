@@ -15,19 +15,31 @@ import (
 
 	"diverseav/internal/campaign"
 	"diverseav/internal/lab"
+	"diverseav/internal/obs"
 	"diverseav/internal/report"
 )
 
 func main() {
 	var (
-		exps  = flag.String("e", "all", "comma-separated experiments: "+strings.Join(report.ExperimentNames(), ",")+" (or all)")
-		bench = flag.Bool("bench", false, "use the small benchmark sizes")
-		full  = flag.Bool("full", false, "use the paper-scale campaign sizes")
-		seed  = flag.Uint64("seed", 2022, "study seed")
-		cache = flag.String("cache", "", "artifact cache directory: golden sets, campaigns and detectors are stored per spec key and reused across invocations")
-		out   = flag.String("o", "", "write the report to this file as well as stdout")
+		exps      = flag.String("e", "all", "comma-separated experiments: "+strings.Join(report.ExperimentNames(), ",")+" (or all)")
+		bench     = flag.Bool("bench", false, "use the small benchmark sizes")
+		full      = flag.Bool("full", false, "use the paper-scale campaign sizes")
+		seed      = flag.Uint64("seed", 2022, "study seed")
+		cache     = flag.String("cache", "", "artifact cache directory: golden sets, campaigns and detectors are stored per spec key and reused across invocations")
+		out       = flag.String("o", "", "write the report to this file as well as stdout")
+		telemetry = flag.String("telemetry", "", "write a JSONL run ledger (job spans + end-of-run metrics) to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	sess, err := obs.StartTelemetry("experiments", *telemetry, *debugAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if addr := sess.DebugAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "experiments: debug server on http://%s/debug/vars\n", addr)
+	}
 
 	o := report.DefaultOptions()
 	if *bench {
@@ -46,9 +58,18 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if sess != nil {
+		l.SetLedger(sess.Ledger)
+	}
+	var pr *obs.Progress
+	if obs.StderrIsTerminal() {
+		pr = obs.NewProgress(os.Stderr, "experiments")
+		l.SetProgress(pr.Update)
+	}
 	o.Lab = l
 
 	text, err := report.Generate(o, strings.Split(*exps, ","))
+	pr.Done()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
@@ -60,5 +81,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
+	}
+	if err := sess.Close(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
 }

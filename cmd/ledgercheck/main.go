@@ -1,0 +1,103 @@
+// Command ledgercheck validates JSONL telemetry ledgers written by the
+// -telemetry flag of the other drivers and prints a per-file digest:
+// span counts by phase and cache status, total queue/exec time, and the
+// metrics record. It exits nonzero on the first invalid file, so CI can
+// gate on the ledger schema.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"diverseav/internal/obs"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "only report errors, no per-file digest")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ledgercheck [-q] ledger.jsonl ...")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range flag.Args() {
+		if err := check(path, *quiet); err != nil {
+			fmt.Fprintf(os.Stderr, "ledgercheck: %s: %v\n", path, err)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func check(path string, quiet bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := obs.ReadLedger(f)
+	if err != nil {
+		return err
+	}
+	if err := obs.Validate(recs); err != nil {
+		return err
+	}
+	if quiet {
+		return nil
+	}
+
+	phases := map[string]int{}
+	caches := map[string]int{}
+	var spans int
+	var queueNs, execNs int64
+	var metrics map[string]int64
+	for _, r := range recs {
+		switch r.Type {
+		case obs.RecordMeta:
+			fmt.Printf("%s: %s ledger, started %s (%s, GOMAXPROCS=%d)\n",
+				path, r.Meta.Tool, r.Meta.Start, r.Meta.GoVersion, r.Meta.GOMAXPROCS)
+		case obs.RecordSpan:
+			spans++
+			phases[r.Span.Phase]++
+			caches[r.Span.Cache]++
+			queueNs += r.Span.QueueNs
+			execNs += r.Span.ExecNs
+		case obs.RecordMetrics:
+			metrics = r.Metrics
+		}
+	}
+	fmt.Printf("  %d spans", spans)
+	for _, k := range sortedCounts(phases) {
+		fmt.Printf(", %d %s", phases[k], k)
+	}
+	fmt.Println()
+	if spans > 0 {
+		fmt.Printf("  cache:")
+		for _, k := range sortedCounts(caches) {
+			fmt.Printf(" %d %s", caches[k], k)
+		}
+		fmt.Printf("; queue %s, exec %s\n",
+			time.Duration(queueNs).Round(time.Millisecond),
+			time.Duration(execNs).Round(time.Millisecond))
+	}
+	if metrics != nil {
+		fmt.Printf("  %d metrics (sim.runs=%d, sim.steps=%d)\n",
+			len(metrics), metrics["sim.runs"], metrics["sim.steps"])
+	}
+	fmt.Printf("  OK: %d records\n", len(recs))
+	return nil
+}
+
+func sortedCounts(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

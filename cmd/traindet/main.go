@@ -10,18 +10,30 @@ import (
 
 	"diverseav/internal/core"
 	"diverseav/internal/lab"
+	"diverseav/internal/obs"
 	"diverseav/internal/sim"
 )
 
 func main() {
 	var (
-		out      = flag.String("o", "detector.json", "output file")
-		perRoute = flag.Int("runs", 2, "fault-free training runs per long route")
-		seed     = flag.Uint64("seed", 42, "training seed")
-		compare  = flag.String("compare", "alternating", "comparison mode: alternating, duplicate, temporal")
-		cache    = flag.String("cache", "", "artifact cache directory shared with cmd/experiments")
+		out       = flag.String("o", "detector.json", "output file")
+		perRoute  = flag.Int("runs", 2, "fault-free training runs per long route")
+		seed      = flag.Uint64("seed", 42, "training seed")
+		compare   = flag.String("compare", "alternating", "comparison mode: alternating, duplicate, temporal")
+		cache     = flag.String("cache", "", "artifact cache directory shared with cmd/experiments")
+		telemetry = flag.String("telemetry", "", "write a JSONL run ledger (job spans + end-of-run metrics) to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	sess, err := obs.StartTelemetry("traindet", *telemetry, *debugAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traindet:", err)
+		os.Exit(1)
+	}
+	if addr := sess.DebugAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "traindet: debug server on http://%s/debug/vars\n", addr)
+	}
 
 	var mode sim.Mode
 	var cmp core.CompareMode
@@ -45,8 +57,22 @@ func main() {
 		}
 	}
 
+	if sess != nil {
+		l.SetLedger(sess.Ledger)
+	}
+	var pr *obs.Progress
+	if obs.StderrIsTerminal() {
+		pr = obs.NewProgress(os.Stderr, "traindet")
+		l.SetProgress(pr.Update)
+	}
+
 	fmt.Fprintf(os.Stderr, "training %s detector: %d runs per route\n", *compare, *perRoute)
-	det := l.Detector(lab.DetectorSpec{Cfg: core.DefaultConfig(), Mode: mode, Compare: cmp, PerRoute: *perRoute, Seed: *seed})
+	spec := lab.DetectorSpec{Cfg: core.DefaultConfig(), Mode: mode, Compare: cmp, PerRoute: *perRoute, Seed: *seed}
+	// Require schedules through the DAG executor (span emission); the
+	// typed getter then hits the store.
+	l.Require(spec)
+	pr.Done()
+	det := l.Detector(spec)
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "traindet:", err)
@@ -59,4 +85,8 @@ func main() {
 	}
 	thr, brk, str := det.Global()
 	fmt.Printf("wrote %s: global thresholds thr=%.3f brk=%.3f str=%.4f\n", *out, thr, brk, str)
+	if err := sess.Close(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "traindet:", err)
+		os.Exit(1)
+	}
 }

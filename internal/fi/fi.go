@@ -12,6 +12,7 @@ package fi
 import (
 	"fmt"
 
+	"diverseav/internal/obs"
 	"diverseav/internal/rng"
 	"diverseav/internal/vm"
 )
@@ -246,6 +247,7 @@ func (p *Planner) TransientPlans(target vm.Device, prof *Profile, n int) []Plan 
 			Bit:      p.drawBit(),
 		})
 	}
+	obs.C("fi.plans_transient").Add(uint64(len(plans)))
 	return plans
 }
 
@@ -273,6 +275,7 @@ func (p *Planner) PermanentPlans(target vm.Device, reps int) []Plan {
 			})
 		}
 	}
+	obs.C("fi.plans_permanent").Add(uint64(len(plans)))
 	return plans
 }
 

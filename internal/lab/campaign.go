@@ -3,6 +3,7 @@ package lab
 import (
 	"diverseav/internal/fi"
 	"diverseav/internal/geom"
+	"diverseav/internal/obs"
 	"diverseav/internal/par"
 	"diverseav/internal/rng"
 	"diverseav/internal/scenario"
@@ -160,6 +161,7 @@ func runCampaign(l *Lab, s CampaignSpec) *Campaign {
 			cfg.Seed = seedBase
 			if cp := forkPoint(cps, prof, faultAgents[i]%nAgents, plan); cp != nil {
 				if res, err := sim.RunFrom(cp, cfg); err == nil {
+					obs.C("campaign.runs_forked").Inc()
 					c.Runs[i] = RunRecord{Plan: plan, Result: res}
 					return
 				}
@@ -167,6 +169,7 @@ func runCampaign(l *Lab, s CampaignSpec) *Campaign {
 		} else {
 			cfg.Seed = seedBase + 5000 + uint64(i)*104729
 		}
+		obs.C("campaign.runs_cold").Inc()
 		c.Runs[i] = RunRecord{Plan: plan, Result: sim.Run(cfg)}
 	})
 	// Past the fork barrier every injection run has restored from its

@@ -3,7 +3,9 @@ package lab
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 
@@ -131,36 +133,61 @@ func (l *Lab) saveDisk(s Spec, key, dir string, v any) error {
 	return os.Rename(tmp.Name(), diskPath(dir, key))
 }
 
-// loadDisk reads an artifact back, reporting ok=false on any mismatch so
+// errCacheMiss marks the one benign loadDisk failure: the entry simply
+// isn't there. Every other error means an entry exists but is unusable
+// (corrupt, truncated, stale, version skew), which produce surfaces as
+// a counter and a stderr warning before recomputing.
+var errCacheMiss = errors.New("lab: cache miss")
+
+// loadDisk reads an artifact back. It returns errCacheMiss when no
+// entry exists and a descriptive error for an unusable one; either way
 // the caller recomputes.
-func (l *Lab) loadDisk(s Spec, key, dir string) (any, bool) {
+func (l *Lab) loadDisk(s Spec, key, dir string) (any, error) {
 	f, err := os.Open(diskPath(dir, key))
 	if err != nil {
-		return nil, false
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, errCacheMiss
+		}
+		return nil, err
 	}
 	defer f.Close()
 	dec := gob.NewDecoder(f)
 	var h diskHeader
-	if err := dec.Decode(&h); err != nil || h.Version != diskVersion || h.Key != key {
-		return nil, false
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("header: %w", err)
+	}
+	if h.Version != diskVersion {
+		return nil, fmt.Errorf("version %d, want %d", h.Version, diskVersion)
+	}
+	if h.Key != key {
+		return nil, fmt.Errorf("keyed %q, want %q", h.Key, key)
 	}
 	switch s := s.(type) {
 	case GoldenSpec:
 		var w wireGolden
-		if err := dec.Decode(&w); err != nil || len(w.Results) != s.N {
-			return nil, false
+		if err := dec.Decode(&w); err != nil {
+			return nil, fmt.Errorf("golden payload: %w", err)
 		}
-		return fromWireResults(w.Results), true
+		if len(w.Results) != s.N {
+			return nil, fmt.Errorf("stale: %d golden results, want %d", len(w.Results), s.N)
+		}
+		return fromWireResults(w.Results), nil
 	case ProfileSpec:
 		var w wireProfile
-		if err := dec.Decode(&w); err != nil || w.Profile == nil {
-			return nil, false
+		if err := dec.Decode(&w); err != nil {
+			return nil, fmt.Errorf("profile payload: %w", err)
 		}
-		return w.Profile, true
+		if w.Profile == nil {
+			return nil, errors.New("profile payload empty")
+		}
+		return w.Profile, nil
 	case CampaignSpec:
 		var w wireCampaign
-		if err := dec.Decode(&w); err != nil || len(w.Plans) != len(w.Results) {
-			return nil, false
+		if err := dec.Decode(&w); err != nil {
+			return nil, fmt.Errorf("campaign payload: %w", err)
+		}
+		if len(w.Plans) != len(w.Results) {
+			return nil, fmt.Errorf("torn campaign: %d plans, %d results", len(w.Plans), len(w.Results))
 		}
 		// Reattach the golden dependency (a lab artifact in its own right,
 		// possibly itself a disk hit) and rebuild the derived baseline.
@@ -177,18 +204,18 @@ func (l *Lab) loadDisk(s Spec, key, dir string) (any, bool) {
 		for i := range w.Plans {
 			c.Runs[i] = RunRecord{Plan: w.Plans[i], Result: &sim.Result{Trace: w.Results[i].Trace, Activations: w.Results[i].Activations}}
 		}
-		return c, true
+		return c, nil
 	case DetectorSpec:
 		var w wireDetector
 		if err := dec.Decode(&w); err != nil {
-			return nil, false
+			return nil, fmt.Errorf("detector payload: %w", err)
 		}
 		det, err := core.Load(bytes.NewReader(w.JSON))
 		if err != nil {
-			return nil, false
+			return nil, fmt.Errorf("detector json: %w", err)
 		}
-		return det, true
+		return det, nil
 	default:
-		return nil, false
+		return nil, fmt.Errorf("no wire format for %T", s)
 	}
 }

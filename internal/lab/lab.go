@@ -17,12 +17,16 @@
 package lab
 
 import (
+	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"diverseav/internal/core"
 	"diverseav/internal/fi"
+	"diverseav/internal/obs"
 	"diverseav/internal/par"
 	"diverseav/internal/scenario"
 	"diverseav/internal/sim"
@@ -40,9 +44,13 @@ type Lab struct {
 	logMu sync.Mutex
 	logf  func(format string, args ...any)
 
-	computed atomic.Int64
-	memHits  atomic.Int64
-	diskHits atomic.Int64
+	ledger   *obs.Ledger
+	progress func(done, total int)
+
+	computed    atomic.Int64
+	memHits     atomic.Int64
+	diskHits    atomic.Int64
+	diskCorrupt atomic.Int64
 }
 
 // New returns an empty in-memory lab.
@@ -73,6 +81,24 @@ func (l *Lab) SetLog(f func(format string, args ...any)) {
 	l.logMu.Lock()
 	l.logf = f
 	l.logMu.Unlock()
+}
+
+// SetLedger attaches a telemetry ledger: every job Require schedules
+// emits a span record (key, phase, deps, cache status, queue/exec
+// time, worker). A nil ledger (the default) disables span emission.
+func (l *Lab) SetLedger(led *obs.Ledger) {
+	l.mu.Lock()
+	l.ledger = led
+	l.mu.Unlock()
+}
+
+// SetProgress installs a completion callback invoked after every
+// Require job with (jobs done, jobs scheduled) for that Require call.
+// Callbacks may arrive concurrently from pool workers.
+func (l *Lab) SetProgress(f func(done, total int)) {
+	l.mu.Lock()
+	l.progress = f
+	l.mu.Unlock()
 }
 
 func (l *Lab) log(format string, args ...any) {
@@ -110,24 +136,64 @@ func (l *Lab) scenarioByName(name string) *scenario.Scenario {
 
 // Stats reports store activity since New.
 type Stats struct {
-	Computed   int64 // artifacts computed by running simulations
-	MemoryHits int64 // requests served from the in-memory store
-	DiskHits   int64 // artifacts loaded from the disk cache
+	Computed    int64 // artifacts computed by running simulations
+	MemoryHits  int64 // requests served from the in-memory store
+	DiskHits    int64 // artifacts loaded from the disk cache
+	DiskCorrupt int64 // unusable (corrupt/stale) disk entries recomputed
 }
 
 // Stats returns a snapshot of store counters.
 func (l *Lab) Stats() Stats {
 	return Stats{
-		Computed:   l.computed.Load(),
-		MemoryHits: l.memHits.Load(),
-		DiskHits:   l.diskHits.Load(),
+		Computed:    l.computed.Load(),
+		MemoryHits:  l.memHits.Load(),
+		DiskHits:    l.diskHits.Load(),
+		DiskCorrupt: l.diskCorrupt.Load(),
 	}
 }
 
-// get returns the artifact for s, computing (or disk-loading) it at most
-// once per key across all goroutines: concurrent requests for the same
-// key block on a single in-flight computation.
+// labInstruments mirrors the store counters into the flight recorder.
+type labInstruments struct {
+	computed    *obs.Counter
+	memHits     *obs.Counter
+	diskHits    *obs.Counter
+	diskCorrupt *obs.Counter
+	exec        *obs.Histogram // per-job exec time, ns
+}
+
+var (
+	labInstOnce sync.Once
+	labInst     labInstruments
+)
+
+func instruments() *labInstruments {
+	if !obs.Enabled() {
+		return nil
+	}
+	labInstOnce.Do(func() {
+		labInst = labInstruments{
+			computed:    obs.C("lab.computed"),
+			memHits:     obs.C("lab.mem_hits"),
+			diskHits:    obs.C("lab.disk_hits"),
+			diskCorrupt: obs.C("lab.disk_corrupt"),
+			exec:        obs.H("lab.exec_ns", obs.DurationBuckets),
+		}
+	})
+	return &labInst
+}
+
+// get returns the artifact for s; fetch additionally reports how it was
+// obtained.
 func (l *Lab) get(s Spec) any {
+	v, _ := l.fetch(s)
+	return v
+}
+
+// fetch returns the artifact for s and its cache status, computing (or
+// disk-loading) it at most once per key across all goroutines:
+// concurrent requests for the same key block on a single in-flight
+// computation.
+func (l *Lab) fetch(s Spec) (any, string) {
 	s = s.normalize()
 	key := s.Key()
 	for {
@@ -135,7 +201,10 @@ func (l *Lab) get(s Spec) any {
 		if v, ok := l.mem[key]; ok {
 			l.mu.Unlock()
 			l.memHits.Add(1)
-			return v
+			if in := instruments(); in != nil {
+				in.memHits.Inc()
+			}
+			return v, obs.CacheMemory
 		}
 		if ch, ok := l.inflight[key]; ok {
 			l.mu.Unlock()
@@ -147,34 +216,51 @@ func (l *Lab) get(s Spec) any {
 		dir := l.dir
 		l.mu.Unlock()
 
-		v := l.produce(s, key, dir)
+		v, status := l.produce(s, key, dir)
 
 		l.mu.Lock()
 		l.mem[key] = v
 		delete(l.inflight, key)
 		l.mu.Unlock()
 		close(ch)
-		return v
+		return v, status
 	}
 }
 
-func (l *Lab) produce(s Spec, key, dir string) any {
+func (l *Lab) produce(s Spec, key, dir string) (any, string) {
 	if dir != "" {
-		if v, ok := l.loadDisk(s, key, dir); ok {
+		v, err := l.loadDisk(s, key, dir)
+		switch {
+		case err == nil:
 			l.diskHits.Add(1)
+			if in := instruments(); in != nil {
+				in.diskHits.Inc()
+			}
 			l.log("lab: loaded %s", key)
-			return v
+			return v, obs.CacheDisk
+		case !errors.Is(err, errCacheMiss):
+			// The entry exists but is unusable (torn write, version skew,
+			// size/key mismatch): recomputing silently would hide cache
+			// rot, so count it and warn.
+			l.diskCorrupt.Add(1)
+			if in := instruments(); in != nil {
+				in.diskCorrupt.Inc()
+			}
+			fmt.Fprintf(os.Stderr, "lab: cache entry %s unusable (%v); recomputing\n", key, err)
 		}
 	}
 	l.log("lab: computing %s", key)
 	v := s.run(l)
 	l.computed.Add(1)
+	if in := instruments(); in != nil {
+		in.computed.Inc()
+	}
 	if dir != "" {
 		if err := l.saveDisk(s, key, dir, v); err != nil {
 			l.log("lab: cache write %s: %v", key, err)
 		}
 	}
-	return v
+	return v, obs.CacheComputed
 }
 
 // provide publishes a precomputed artifact under s's key, so subsequent
@@ -197,8 +283,13 @@ func (l *Lab) provide(s Spec, v any) {
 func (l *Lab) Require(specs ...Spec) {
 	type node struct {
 		spec    Spec
+		key     string
 		pending atomic.Int32 // unresolved deps
 		blocks  []*node      // nodes waiting on this one
+		// enqueued is when the node entered the ready queue (span queue
+		// wait). Written before the channel send, read after the receive;
+		// the channel is the happens-before edge.
+		enqueued time.Time
 	}
 	nodes := make(map[string]*node)
 	var order []*node // insertion order, for deterministic seeding of the queue
@@ -218,7 +309,7 @@ func (l *Lab) Require(specs ...Spec) {
 		if done {
 			return nil
 		}
-		n := &node{spec: s}
+		n := &node{spec: s, key: key}
 		nodes[key] = n
 		order = append(order, n)
 		for _, d := range s.deps() {
@@ -236,25 +327,71 @@ func (l *Lab) Require(specs ...Spec) {
 		return
 	}
 
+	l.mu.Lock()
+	ledger, progress := l.ledger, l.progress
+	l.mu.Unlock()
+	// Spans and the exec histogram need timestamps; skip the clock reads
+	// entirely when nothing consumes them.
+	timed := ledger != nil || obs.Enabled()
+
 	// Ready queue, buffered to hold every node so completions never block.
 	ready := make(chan *node, len(order))
+	now := time.Time{}
+	if timed {
+		now = time.Now()
+	}
 	for _, n := range order {
 		if n.pending.Load() == 0 {
+			n.enqueued = now
 			ready <- n
 		}
 	}
+	total := len(order)
 	var remaining atomic.Int64
-	remaining.Store(int64(len(order)))
+	remaining.Store(int64(total))
+	var done atomic.Int64
 
 	workers := par.Workers()
-	if workers > len(order) {
-		workers = len(order)
+	if workers > total {
+		workers = total
 	}
-	par.ForEach(workers, func(int) {
+	par.ForEach(workers, func(w int) {
 		for n := range ready {
-			l.get(n.spec) // memoizes; concurrent duplicate keys coalesce
+			var start time.Time
+			if timed {
+				start = time.Now()
+			}
+			_, status := l.fetch(n.spec) // memoizes; concurrent duplicate keys coalesce
+			if timed {
+				exec := time.Since(start)
+				if in := instruments(); in != nil {
+					in.exec.Observe(exec.Nanoseconds())
+				}
+				if ledger != nil {
+					deps := n.spec.deps()
+					depKeys := make([]string, len(deps))
+					for i, d := range deps {
+						depKeys[i] = d.Key()
+					}
+					ledger.EmitSpan(obs.Span{
+						Key:     n.key,
+						Phase:   n.spec.kind(),
+						Deps:    depKeys,
+						Cache:   status,
+						QueueNs: start.Sub(n.enqueued).Nanoseconds(),
+						ExecNs:  exec.Nanoseconds(),
+						Worker:  w,
+					})
+				}
+			}
+			if progress != nil {
+				progress(int(done.Add(1)), total)
+			}
 			for _, b := range n.blocks {
 				if b.pending.Add(-1) == 0 {
+					if timed {
+						b.enqueued = time.Now()
+					}
 					ready <- b
 				}
 			}

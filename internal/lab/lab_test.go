@@ -298,4 +298,18 @@ func TestDiskCacheRoundTrip(t *testing.T) {
 	if st := l3.Stats(); st.Computed != 1 {
 		t.Errorf("corrupt entry: Computed = %d, want 1 (recomputed)", st.Computed)
 	}
+	if st := l3.Stats(); st.DiskCorrupt != 1 {
+		t.Errorf("corrupt entry: DiskCorrupt = %d, want 1", st.DiskCorrupt)
+	}
+
+	// A plain miss (no file at all) is not corruption.
+	l4 := New()
+	if err := l4.SetDisk(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	l4.RegisterScenario(sc)
+	l4.Detector(detSpec)
+	if st := l4.Stats(); st.DiskCorrupt != 0 {
+		t.Errorf("cache miss: DiskCorrupt = %d, want 0", st.DiskCorrupt)
+	}
 }

@@ -37,6 +37,9 @@ type Spec interface {
 	// run computes the artifact, fetching deps through the lab (where
 	// they are already memoized when scheduled via Require).
 	run(l *Lab) any
+	// kind names the spec's artifact class ("golden", "profile",
+	// "campaign", "detector") — the phase field of its telemetry span.
+	kind() string
 }
 
 // fnvSum hashes the canonical field string of a spec.
@@ -92,6 +95,7 @@ func (s GoldenSpec) Key() string {
 
 func (s GoldenSpec) normalize() Spec { return s.norm() }
 func (s GoldenSpec) deps() []Spec    { return nil }
+func (s GoldenSpec) kind() string    { return "golden" }
 
 func (s GoldenSpec) run(l *Lab) any {
 	sc := l.scenarioByName(s.Scenario)
@@ -141,6 +145,7 @@ func (s ProfileSpec) Key() string {
 
 func (s ProfileSpec) normalize() Spec { return s.norm() }
 func (s ProfileSpec) deps() []Spec    { return nil }
+func (s ProfileSpec) kind() string    { return "profile" }
 
 func (s ProfileSpec) run(l *Lab) any {
 	var prof fi.Profile
@@ -200,6 +205,7 @@ func (s CampaignSpec) Key() string {
 }
 
 func (s CampaignSpec) normalize() Spec { return s.norm() }
+func (s CampaignSpec) kind() string    { return "campaign" }
 
 func (s CampaignSpec) deps() []Spec {
 	d := []Spec{s.Golden}
@@ -246,6 +252,7 @@ func (s DetectorSpec) Key() string {
 
 func (s DetectorSpec) normalize() Spec { return s.norm() }
 func (s DetectorSpec) deps() []Spec    { return nil }
+func (s DetectorSpec) kind() string    { return "detector" }
 
 func (s DetectorSpec) run(l *Lab) any {
 	det := core.NewDetector(s.Cfg, s.Compare)

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Cache statuses a lab span can carry: the job ran (computed), was
+// deduplicated against an earlier identical spec in this process
+// (memory), or was loaded from the on-disk artifact store (disk).
+const (
+	CacheComputed = "computed"
+	CacheMemory   = "memory"
+	CacheDisk     = "disk"
+)
+
+// Record types in the ledger.
+const (
+	RecordMeta    = "meta"
+	RecordSpan    = "span"
+	RecordMetrics = "metrics"
+)
+
+// Meta describes one tool invocation: what ran, where, and on what
+// hardware — enough to compare ledgers (and bench trajectories) across
+// machines.
+type Meta struct {
+	Tool       string   `json:"tool"`
+	Args       []string `json:"args,omitempty"`
+	Start      string   `json:"start"` // RFC 3339
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GitSHA     string   `json:"git_sha,omitempty"`
+}
+
+// Span records one lab job as the scheduler actually executed it.
+type Span struct {
+	Key     string   `json:"key"`   // spec content-hash key
+	Phase   string   `json:"phase"` // golden | profile | campaign | detector
+	Deps    []string `json:"deps,omitempty"`
+	Cache   string   `json:"cache"` // computed | memory | disk
+	QueueNs int64    `json:"queue_ns"`
+	ExecNs  int64    `json:"exec_ns"`
+	Worker  int      `json:"worker"`
+}
+
+// Record is the tagged union written one-per-line to the ledger.
+// Exactly one of Meta/Span/Metrics is set, per Type.
+type Record struct {
+	Type      string           `json:"type"`
+	ElapsedNs int64            `json:"elapsed_ns"`
+	Meta      *Meta            `json:"meta,omitempty"`
+	Span      *Span            `json:"span,omitempty"`
+	Metrics   map[string]int64 `json:"metrics,omitempty"`
+}
+
+// Ledger writes telemetry records as JSON lines. All methods are safe
+// on a nil *Ledger (no-ops) and for concurrent use, so producers can
+// emit unconditionally.
+type Ledger struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	c     io.Closer
+	start time.Time
+}
+
+// NewLedger wraps w in a ledger. The caller owns w's lifetime; Close
+// flushes but only closes w if it implements io.Closer and was opened
+// by OpenLedger.
+func NewLedger(w io.Writer) *Ledger {
+	return &Ledger{w: bufio.NewWriter(w), start: time.Now()}
+}
+
+// OpenLedger creates (truncating) the ledger file at path.
+func OpenLedger(path string) (*Ledger, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	l := NewLedger(f)
+	l.c = f
+	return l, nil
+}
+
+// Emit appends one record, stamping ElapsedNs since the ledger opened.
+func (l *Ledger) Emit(rec Record) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec.ElapsedNs = time.Since(l.start).Nanoseconds()
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return // a ledger record is never worth failing the run for
+	}
+	l.w.Write(b)
+	l.w.WriteByte('\n')
+}
+
+// EmitMeta writes the invocation-metadata record (first in the file).
+func (l *Ledger) EmitMeta(m Meta) { l.Emit(Record{Type: RecordMeta, Meta: &m}) }
+
+// EmitSpan writes one lab-job span.
+func (l *Ledger) EmitSpan(s Span) { l.Emit(Record{Type: RecordSpan, Span: &s}) }
+
+// EmitMetrics writes a metrics snapshot.
+func (l *Ledger) EmitMetrics(m map[string]int64) {
+	if len(m) == 0 {
+		return
+	}
+	l.Emit(Record{Type: RecordMetrics, Metrics: m})
+}
+
+// Close flushes buffered records and closes the underlying file when
+// the ledger owns one. Safe on nil.
+func (l *Ledger) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.w.Flush()
+	if l.c != nil {
+		if cerr := l.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// NewMeta fills a Meta for the current process: runtime facts plus the
+// repository git SHA when one is discoverable.
+func NewMeta(tool string) Meta {
+	return Meta{
+		Tool:       tool,
+		Args:       os.Args[1:],
+		Start:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GitSHA:     GitSHA(),
+	}
+}
+
+// ReadLedger decodes a JSONL ledger stream into typed records.
+func ReadLedger(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("ledger line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// Validate checks a decoded ledger against the schema: a leading meta
+// record, known record types, well-formed spans (nonempty key and
+// phase, known cache status, non-negative durations), and non-negative
+// elapsed stamps.
+func Validate(recs []Record) error {
+	if len(recs) == 0 {
+		return fmt.Errorf("ledger is empty")
+	}
+	if recs[0].Type != RecordMeta || recs[0].Meta == nil {
+		return fmt.Errorf("ledger record 1: want leading %q record, got %q", RecordMeta, recs[0].Type)
+	}
+	for i, rec := range recs {
+		n := i + 1
+		if rec.ElapsedNs < 0 {
+			return fmt.Errorf("ledger record %d: negative elapsed_ns %d", n, rec.ElapsedNs)
+		}
+		switch rec.Type {
+		case RecordMeta:
+			if rec.Meta == nil {
+				return fmt.Errorf("ledger record %d: meta record without meta body", n)
+			}
+			if rec.Meta.Tool == "" {
+				return fmt.Errorf("ledger record %d: meta without tool", n)
+			}
+		case RecordSpan:
+			s := rec.Span
+			if s == nil {
+				return fmt.Errorf("ledger record %d: span record without span body", n)
+			}
+			if s.Key == "" {
+				return fmt.Errorf("ledger record %d: span without key", n)
+			}
+			if s.Phase == "" {
+				return fmt.Errorf("ledger record %d: span without phase", n)
+			}
+			switch s.Cache {
+			case CacheComputed, CacheMemory, CacheDisk:
+			default:
+				return fmt.Errorf("ledger record %d: unknown cache status %q", n, s.Cache)
+			}
+			if s.QueueNs < 0 || s.ExecNs < 0 {
+				return fmt.Errorf("ledger record %d: negative span duration", n)
+			}
+		case RecordMetrics:
+			if len(rec.Metrics) == 0 {
+				return fmt.Errorf("ledger record %d: metrics record without metrics", n)
+			}
+		default:
+			return fmt.Errorf("ledger record %d: unknown type %q", n, rec.Type)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The acceptance criterion: a ledger written through the typed API
+// round-trips through the typed decoder with every span field intact.
+func TestLedgerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLedger(&buf)
+	l.EmitMeta(NewMeta("test-tool"))
+	l.EmitSpan(Span{
+		Key:     "campaign/abc123",
+		Phase:   "campaign",
+		Deps:    []string{"golden/def456", "profile/789abc"},
+		Cache:   CacheComputed,
+		QueueNs: 1500,
+		ExecNs:  2_000_000,
+		Worker:  2,
+	})
+	l.EmitSpan(Span{Key: "detector/xyz", Phase: "detector", Cache: CacheDisk})
+	l.EmitMetrics(map[string]int64{"sim.runs": 12, "vm.instr_fused": 999})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadLedger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(recs); err != nil {
+		t.Fatalf("valid ledger rejected: %v", err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+
+	m := recs[0].Meta
+	if recs[0].Type != RecordMeta || m == nil {
+		t.Fatalf("record 1 not meta: %+v", recs[0])
+	}
+	if m.Tool != "test-tool" || m.GoVersion == "" || m.GOMAXPROCS < 1 || m.NumCPU < 1 || m.GOOS == "" {
+		t.Fatalf("meta incomplete: %+v", m)
+	}
+	if _, err := time.Parse(time.RFC3339, m.Start); err != nil {
+		t.Fatalf("meta start %q not RFC3339: %v", m.Start, err)
+	}
+
+	s := recs[1].Span
+	if recs[1].Type != RecordSpan || s == nil {
+		t.Fatalf("record 2 not span: %+v", recs[1])
+	}
+	if s.Key != "campaign/abc123" || s.Phase != "campaign" || s.Cache != CacheComputed {
+		t.Fatalf("span fields lost: %+v", s)
+	}
+	if len(s.Deps) != 2 || s.Deps[0] != "golden/def456" {
+		t.Fatalf("span deps lost: %+v", s.Deps)
+	}
+	if s.QueueNs != 1500 || s.ExecNs != 2_000_000 || s.Worker != 2 {
+		t.Fatalf("span durations/worker lost: %+v", s)
+	}
+
+	if recs[3].Type != RecordMetrics || recs[3].Metrics["sim.runs"] != 12 {
+		t.Fatalf("metrics record lost: %+v", recs[3])
+	}
+	for i, rec := range recs {
+		if rec.ElapsedNs < 0 {
+			t.Fatalf("record %d negative elapsed", i+1)
+		}
+	}
+}
+
+func TestOpenLedgerWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	l, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.EmitMeta(NewMeta("t"))
+	l.EmitSpan(Span{Key: "k", Phase: "golden", Cache: CacheMemory})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := ReadLedger(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+}
+
+func TestNilLedgerNoOp(t *testing.T) {
+	var l *Ledger
+	l.EmitMeta(NewMeta("t"))
+	l.EmitSpan(Span{Key: "k"})
+	l.EmitMetrics(map[string]int64{"a": 1})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	meta := Record{Type: RecordMeta, Meta: &Meta{Tool: "t"}}
+	cases := []struct {
+		name string
+		recs []Record
+		want string
+	}{
+		{"empty", nil, "empty"},
+		{"no leading meta", []Record{{Type: RecordSpan, Span: &Span{Key: "k", Phase: "golden", Cache: CacheDisk}}}, "leading"},
+		{"span without key", []Record{meta, {Type: RecordSpan, Span: &Span{Phase: "golden", Cache: CacheDisk}}}, "without key"},
+		{"span without phase", []Record{meta, {Type: RecordSpan, Span: &Span{Key: "k", Cache: CacheDisk}}}, "without phase"},
+		{"bad cache status", []Record{meta, {Type: RecordSpan, Span: &Span{Key: "k", Phase: "golden", Cache: "warm"}}}, "cache status"},
+		{"negative duration", []Record{meta, {Type: RecordSpan, Span: &Span{Key: "k", Phase: "golden", Cache: CacheDisk, ExecNs: -1}}}, "negative span"},
+		{"unknown type", []Record{meta, {Type: "bogus"}}, "unknown type"},
+		{"empty metrics", []Record{meta, {Type: RecordMetrics}}, "without metrics"},
+	}
+	for _, tc := range cases {
+		err := Validate(tc.recs)
+		if err == nil {
+			t.Errorf("%s: Validate accepted invalid ledger", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestReadLedgerRejectsGarbage(t *testing.T) {
+	if _, err := ReadLedger(strings.NewReader("{\"type\":\"meta\"}\nnot json\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+}

@@ -1,0 +1,271 @@
+// Package obs is the flight recorder: a deterministic, zero-overhead-
+// when-disabled instrumentation layer for the whole experiment stack.
+//
+// It has three parts. The metrics core (this file) is a registry of
+// named counters, gauges and fixed-bucket histograms with atomic
+// updates; every instrument handle is nil-safe, and the process-wide
+// default registry is nil until Enable is called, so instrumented hot
+// paths pay exactly one predicate (an atomic pointer load or a nil
+// check) when telemetry is off and never allocate. The run ledger
+// (ledger.go) is a JSONL sink for typed telemetry records — invocation
+// metadata, per-job spans from the internal/lab scheduler, and final
+// metric snapshots. The session layer (session.go) wires the standard
+// driver surfaces: the -telemetry ledger, the human-readable
+// end-of-run flight-recorder summary, live stderr progress, and an
+// opt-in expvar + net/http/pprof debug server.
+//
+// Determinism contract: obs only observes. Instruments never touch the
+// seeded RNG streams, never feed values back into the simulation, and
+// never appear in traces or reports, so a run with telemetry enabled is
+// byte-identical to one without. The report golden test pins this.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The nil *Counter is a
+// valid no-op instrument: Add/Inc on nil cost one predicate and nothing
+// else, which is how disabled telemetry stays off the hot paths.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. Safe on a nil counter (no-op) and for concurrent use.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous metric (pool occupancy, queue
+// depth). The nil *Gauge is a valid no-op instrument.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. Safe on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds d (negative to decrement). Safe on a nil gauge.
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets. Bounds are
+// inclusive upper bounds in ascending order; an implicit +Inf bucket
+// catches the rest. Observations are int64 (ns for durations, counts
+// for sizes), so snapshots stay integer-exact. The nil *Histogram is a
+// valid no-op instrument.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sum    atomic.Int64
+}
+
+// Observe records one value. Safe on a nil histogram and for
+// concurrent use.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values (0 for nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// DurationBuckets is the default histogram layout for job/run durations
+// in nanoseconds: 1ms … 100s in decades.
+var DurationBuckets = []int64{1e6, 1e7, 1e8, 1e9, 1e10, 1e11}
+
+// Registry holds named instruments. Instruments are created on first
+// lookup and live for the registry's lifetime, so hot paths can resolve
+// a handle once and update it lock-free afterwards. All methods are
+// safe on a nil *Registry, returning nil (no-op) instruments.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds if needed (later calls reuse the first layout).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot flattens every instrument into a sorted-key map: counters
+// and gauges under their names, histograms as name/le=<bound> bucket
+// counts plus name/sum. The map is a value copy, safe to serialize
+// while updates continue. A nil registry snapshots to nil.
+func (r *Registry) Snapshot() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters)+len(r.gauges)+8*len(r.hists))
+	for name, c := range r.counters {
+		out[name] = int64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		for i := range h.counts {
+			key := name + "/le=+Inf"
+			if i < len(h.bounds) {
+				key = fmt.Sprintf("%s/le=%d", name, h.bounds[i])
+			}
+			out[key] = int64(h.counts[i].Load())
+		}
+		out[name+"/sum"] = h.Sum()
+	}
+	return out
+}
+
+// def is the process-wide default registry: nil until Enable, which is
+// the single predicate every instrumented package checks.
+var def atomic.Pointer[Registry]
+
+// Enable installs the default registry (idempotent) and returns it.
+// Drivers call it once at startup, before any simulation runs; packages
+// that cache instrument handles resolve them on first use after Enable.
+func Enable() *Registry {
+	if def.Load() == nil {
+		def.CompareAndSwap(nil, NewRegistry())
+	}
+	return def.Load()
+}
+
+// Enabled reports whether telemetry is on. This is the one predicate
+// the hot paths pay when it is off.
+func Enabled() bool { return def.Load() != nil }
+
+// Default returns the default registry, or nil when telemetry is
+// disabled (all lookups through it then return no-op instruments).
+func Default() *Registry { return def.Load() }
+
+// C returns the named counter from the default registry, or nil (a
+// no-op instrument) when telemetry is disabled.
+func C(name string) *Counter { return def.Load().Counter(name) }
+
+// G returns the named gauge from the default registry, or nil when
+// telemetry is disabled.
+func G(name string) *Gauge { return def.Load().Gauge(name) }
+
+// H returns the named histogram from the default registry, or nil when
+// telemetry is disabled.
+func H(name string, bounds []int64) *Histogram { return def.Load().Histogram(name, bounds) }
+
+// sortedKeys returns the snapshot's keys in lexical order (for the
+// summary and tests).
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

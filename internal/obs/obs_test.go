@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// Nil instruments are the disabled path: every method must be a no-op
+// and must not allocate.
+func TestNilInstrumentsNoOp(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Fatalf("nil counter value = %d", c.Value())
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge value = %d", g.Value())
+	}
+	var h *Histogram
+	h.Observe(42)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil histogram count=%d sum=%d", h.Count(), h.Sum())
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", DurationBuckets) != nil {
+		t.Fatal("nil registry returned non-nil instrument")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot not nil")
+	}
+}
+
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		g.Add(1)
+		h.Observe(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instruments allocate: %v allocs/op", allocs)
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("runs")
+	c.Inc()
+	c.Add(2)
+	if got := r.Counter("runs").Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	g := r.Gauge("active")
+	g.Set(5)
+	g.Add(-2)
+	if got := r.Gauge("active").Value(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+	h := r.Histogram("dur", []int64{10, 100})
+	for _, v := range []int64{5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 || h.Sum() != 555 {
+		t.Fatalf("histogram count=%d sum=%d, want 3, 555", h.Count(), h.Sum())
+	}
+	// Same name returns the same instrument.
+	if r.Histogram("dur", nil) != h {
+		t.Fatal("histogram lookup did not return existing instrument")
+	}
+}
+
+func TestSnapshotFlattening(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(4)
+	r.Gauge("g").Set(-2)
+	h := r.Histogram("h", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	snap := r.Snapshot()
+	want := map[string]int64{
+		"c":         4,
+		"g":         -2,
+		"h/le=10":   1,
+		"h/le=100":  1,
+		"h/le=+Inf": 1,
+		"h/sum":     555,
+	}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Errorf("snapshot[%q] = %d, want %d", k, snap[k], v)
+		}
+	}
+	if len(snap) != len(want) {
+		t.Errorf("snapshot has %d keys, want %d: %v", len(snap), len(want), snap)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []int64{10})
+	h.Observe(10) // inclusive upper bound
+	h.Observe(11)
+	snap := r.Snapshot()
+	if snap["h/le=10"] != 1 || snap["h/le=+Inf"] != 1 {
+		t.Fatalf("bucket edges wrong: %v", snap)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", DurationBuckets).Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 8000 {
+		t.Fatalf("gauge = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+// Enabling telemetry in this test binary is fine (obs has no sim alloc
+// tests); it must be idempotent and flip the global predicate.
+func TestEnableIdempotent(t *testing.T) {
+	if r1, r2 := Enable(), Enable(); r1 != r2 {
+		t.Fatal("Enable returned different registries")
+	}
+	if !Enabled() {
+		t.Fatal("Enabled() false after Enable")
+	}
+	C("test.counter").Inc()
+	if Default().Counter("test.counter").Value() != 1 {
+		t.Fatal("shorthand C did not reach default registry")
+	}
+	G("test.gauge").Set(2)
+	H("test.hist", DurationBuckets).Observe(3)
+	snap := Default().Snapshot()
+	if snap["test.gauge"] != 2 || snap["test.hist/sum"] != 3 {
+		t.Fatalf("default snapshot missing shorthand updates: %v", snap)
+	}
+}

@@ -10,12 +10,18 @@
 // worker that is idle at submission time, and everything else runs on
 // the caller's goroutine. Results are deterministic as long as jobs
 // write to disjoint slots, which every caller in this repo does.
+//
+// When telemetry is on (obs.Enable) the pool reports occupancy through
+// the par.active gauge and counts recruited helpers and inline loops;
+// when it is off each loop pays a single atomic load.
 package par
 
 import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"diverseav/internal/obs"
 )
 
 var (
@@ -47,6 +53,31 @@ func start() {
 	})
 }
 
+// instruments caches the pool's obs handles. It returns nil until
+// telemetry is enabled, so the disabled path costs one atomic load.
+type poolInstruments struct {
+	active    *obs.Gauge   // goroutines currently executing ForEach work
+	recruited *obs.Counter // helpers handed to idle pool workers
+	inline    *obs.Counter // loops that ran entirely on the caller
+}
+
+var (
+	instOnce sync.Once
+	inst     poolInstruments
+)
+
+func instruments() *poolInstruments {
+	if !obs.Enabled() {
+		return nil
+	}
+	instOnce.Do(func() {
+		inst.active = obs.G("par.active")
+		inst.recruited = obs.C("par.recruited")
+		inst.inline = obs.C("par.inline")
+	})
+	return &inst
+}
+
 // Workers returns the number of goroutines (including the caller) that
 // can make progress concurrently through this pool.
 func Workers() int {
@@ -57,12 +88,22 @@ func Workers() int {
 // over idle pool workers plus the calling goroutine; with no idle
 // workers (GOMAXPROCS=1, or a nested call from inside another ForEach)
 // the whole loop runs inline on the caller. ForEach returns after every
-// iteration has completed. fn must not panic.
+// iteration has completed.
+//
+// If fn panics, ForEach stops handing out new iterations, waits for
+// iterations already running to finish, and re-raises the first panic
+// on the calling goroutine. Pool workers survive to serve later loops.
 func ForEach(n int, fn func(int)) {
 	if n <= 0 {
 		return
 	}
+	in := instruments()
 	if n == 1 {
+		if in != nil {
+			in.inline.Inc()
+			in.active.Add(1)
+			defer in.active.Add(-1)
+		}
 		fn(0)
 		return
 	}
@@ -71,13 +112,32 @@ func ForEach(n int, fn func(int)) {
 		// Single-core: run inline with zero scheduling or closure
 		// overhead (this keeps the sim's per-step camera fan-out
 		// allocation-free at GOMAXPROCS=1).
+		if in != nil {
+			in.inline.Inc()
+			in.active.Add(1)
+			defer in.active.Add(-1)
+		}
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
 	var next atomic.Int64
+	var panicOnce sync.Once
+	var panicVal any
 	work := func() {
+		if in != nil {
+			in.active.Add(1)
+			defer in.active.Add(-1)
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				panicOnce.Do(func() { panicVal = p })
+				// Park the cursor past the end so no goroutine starts
+				// another iteration.
+				next.Store(int64(n))
+			}
+		}()
 		for {
 			i := next.Add(1) - 1
 			if i >= int64(n) {
@@ -96,6 +156,9 @@ recruit:
 		wg.Add(1)
 		select {
 		case taskCh <- helper:
+			if in != nil {
+				in.recruited.Inc()
+			}
 		default:
 			// No worker is idle right now; stop recruiting.
 			wg.Done()
@@ -104,6 +167,9 @@ recruit:
 	}
 	work()
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }
 
 // Do runs the given functions, concurrently when idle workers are

@@ -1,8 +1,13 @@
 package par
 
 import (
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"diverseav/internal/obs"
 )
 
 func TestForEachCoversEveryIndex(t *testing.T) {
@@ -46,5 +51,111 @@ func TestForEachDisjointWrites(t *testing.T) {
 		if v != i*i {
 			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
 		}
+	}
+}
+
+func TestForEachSaturation(t *testing.T) {
+	// Flood the pool from many goroutines at once: every loop must
+	// still cover every index exactly once, and nothing may deadlock
+	// even though most loops find no idle workers and run inline.
+	const loops, n = 32, 200
+	var wg sync.WaitGroup
+	hits := make([][]int32, loops)
+	for l := 0; l < loops; l++ {
+		hits[l] = make([]int32, n)
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			ForEach(n, func(i int) { atomic.AddInt32(&hits[l][i], 1) })
+		}(l)
+	}
+	wg.Wait()
+	for l := 0; l < loops; l++ {
+		for i, h := range hits[l] {
+			if h != 1 {
+				t.Fatalf("loop %d index %d executed %d times, want 1", l, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	// A panicking iteration must surface on the caller, not kill a
+	// pool worker goroutine (which would crash the process).
+	defer func() {
+		if p := recover(); p == nil {
+			t.Fatal("panic did not propagate to the caller")
+		} else if s, ok := p.(string); !ok || s != "boom" {
+			t.Fatalf("propagated panic = %v, want \"boom\"", p)
+		}
+	}()
+	ForEach(64, func(i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+}
+
+func TestForEachPanicStopsEarlyAndPoolSurvives(t *testing.T) {
+	var ran atomic.Int64
+	func() {
+		defer func() { recover() }()
+		ForEach(1000, func(i int) {
+			if i == 0 {
+				panic("stop")
+			}
+			// Slow iterations down so the panic's stop signal lands
+			// before other workers can drain the whole range.
+			time.Sleep(200 * time.Microsecond)
+			ran.Add(1)
+		})
+	}()
+	// Remaining iterations are abandoned once the panic lands; already
+	// running ones may finish, so allow generous scheduler slack.
+	if got := ran.Load(); got > 100 {
+		t.Fatalf("ForEach ran %d iterations after a first-iteration panic", got)
+	}
+	// The pool must remain fully usable after a panic.
+	hits := make([]int32, 128)
+	ForEach(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("after panic: index %d executed %d times, want 1", i, h)
+		}
+	}
+}
+
+func TestForEachPanicInline(t *testing.T) {
+	// The n==1 fast path bypasses the pool; panics must still reach
+	// the caller there.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inline panic did not propagate")
+		}
+	}()
+	ForEach(1, func(int) { panic("inline") })
+}
+
+func TestOccupancyGauge(t *testing.T) {
+	// Enabling telemetry is process-sticky, which is safe in this test
+	// binary (no disabled-path alloc tests live in internal/par).
+	obs.Enable()
+	g := obs.G("par.active")
+	var maxSeen atomic.Int64
+	ForEach(4*runtime.GOMAXPROCS(0), func(i int) {
+		if v := g.Value(); v > maxSeen.Load() {
+			maxSeen.Store(v)
+		}
+	})
+	// Whether the loop ran inline (GOMAXPROCS=1) or fanned out, at
+	// least the executing goroutine must be visible in the gauge.
+	if maxSeen.Load() < 1 {
+		t.Fatalf("par.active never rose above 0 during a loop")
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("par.active = %d after loops finished, want 0", got)
+	}
+	if obs.C("par.inline").Value()+obs.C("par.recruited").Value() == 0 {
+		t.Fatal("neither par.inline nor par.recruited counted anything")
 	}
 }

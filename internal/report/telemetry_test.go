@@ -1,0 +1,77 @@
+package report
+
+import (
+	"bytes"
+	"testing"
+
+	"diverseav/internal/lab"
+	"diverseav/internal/obs"
+)
+
+// TestGenerateTelemetryByteIdentical is the determinism acceptance gate
+// for the flight recorder: a study generated with telemetry fully
+// enabled (registry + span ledger attached to the lab) must render a
+// report byte-identical to the telemetry-off run. Telemetry observes
+// the computation; it must never participate in it — no RNG draws, no
+// trace mutation, no scheduling changes.
+//
+// The off-run executes before obs.Enable(), so within this binary it
+// really is the disabled fast path (Enable is process-sticky; no other
+// test in internal/report enables telemetry).
+func TestGenerateTelemetryByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy (two reduced-size studies)")
+	}
+	exps := []string{"table1", "fig7", "fig8", "missed", "compare", "ablation"}
+
+	off, err := Generate(studyDeterminismOpts(), exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obs.Enable()
+	var buf bytes.Buffer
+	led := obs.NewLedger(&buf)
+	led.EmitMeta(obs.NewMeta("report-test"))
+	l := lab.New()
+	l.SetLedger(led)
+	o := studyDeterminismOpts()
+	o.Lab = l
+
+	on, err := Generate(o, exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := led.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if off != on {
+		t.Errorf("telemetry changed the report (%d vs %d bytes)\n%s",
+			len(off), len(on), firstDiff(on, off))
+	}
+
+	// The enabled run's ledger must itself be a valid flight record with
+	// one span per scheduled job.
+	recs, err := obs.ReadLedger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Validate(recs); err != nil {
+		t.Fatalf("study ledger invalid: %v", err)
+	}
+	phases := map[string]int{}
+	for _, r := range recs {
+		if r.Type == obs.RecordSpan {
+			phases[r.Span.Phase]++
+		}
+	}
+	for _, phase := range []string{"golden", "campaign", "detector"} {
+		if phases[phase] == 0 {
+			t.Errorf("study ledger has no %q spans (got %v)", phase, phases)
+		}
+	}
+	if st := l.Stats(); st.Computed == 0 {
+		t.Error("telemetry-on study computed nothing (lab not exercised)")
+	}
+}

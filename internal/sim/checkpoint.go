@@ -92,6 +92,12 @@ func ReleaseCheckpoints(cps []*Checkpoint) {
 // into a (possibly recycled) checkpoint.
 func (r *runner) snapshot(step int) *Checkpoint {
 	cp := cpPool.Get().(*Checkpoint)
+	if in := instruments(); in != nil && cp.Env != nil {
+		// A non-nil Env marks a recycled buffer (New produces zero
+		// Checkpoints): pool reuse is exactly what the allocation
+		// numbers in BENCH_*.json depend on, so surface it.
+		in.cpReuse.Inc()
+	}
 	cp.Scenario = r.cfg.Scenario.Name
 	cp.Mode = r.cfg.Mode
 	cp.Seed = r.cfg.Seed

@@ -321,7 +321,7 @@ func (r *runner) run(start int) *Result {
 			out, err := ag.Step(&in)
 			if err != nil {
 				finishDUE(tr, env, step, err)
-				return r.finish()
+				return r.finish(start)
 			}
 			cmds[id] = trace.Cmd{
 				Valid:        true,
@@ -371,18 +371,21 @@ func (r *runner) run(start int) *Result {
 			if physics.Collides(env.Ego, n.Follower.Vehicle) {
 				tr.Outcome = trace.OutcomeCollision
 				tr.CollisionStep = step
-				return r.finish()
+				return r.finish(start)
 			}
 		}
 	}
 
-	return r.finish()
+	return r.finish(start)
 }
 
-// finish assembles the Result from the runner's final state.
-func (r *runner) finish() *Result {
+// finish assembles the Result from the runner's final state and
+// publishes the run's aggregate telemetry (a no-op when disabled).
+func (r *runner) finish(start int) *Result {
 	recordInstr(r.tr, r.agents)
-	return &Result{Trace: r.tr, Activations: totalActivations(r.injectors), Checkpoints: r.checkpoints}
+	res := &Result{Trace: r.tr, Activations: totalActivations(r.injectors), Checkpoints: r.checkpoints}
+	r.publishRun(start, res)
+	return res
 }
 
 func agentName(i int) string {

@@ -107,6 +107,14 @@ type Machine struct {
 	// tier0Only pins execution to the scalar loop even when a program
 	// has a tier-1 fusion plan; see SetMaxTier.
 	tier0Only bool
+	// Execution-tier accounting, flushed at every Run/runDirect exit.
+	// These are observational totals for the machine's lifetime: unlike
+	// dev[_].count they are not part of the architectural state, so
+	// MachineState.Restore leaves them alone and forked runs keep
+	// accumulating.
+	fusedInstr  uint64 // executed inside tier-1 fused kernels
+	scalarInstr uint64 // executed by the hook-free scalar loop
+	hookedInstr uint64 // executed by the hooked (fault-injection) loop
 }
 
 // NewMachine allocates a machine with the given data-memory size in
@@ -151,6 +159,16 @@ func (m *Machine) ResetCounts() {
 	m.dev[GPU].count = 0
 }
 
+// TierCounts returns how many dynamic instructions this machine has
+// executed on each path: inside tier-1 fused kernels, in the hook-free
+// tier-0 scalar loop, and in the hooked fault-injection loop. The sum
+// equals every instruction ever run (checkpoint restores do not reset
+// these), which is what the flight-recorder summary reports as the
+// tier-1 kernel hit rate.
+func (m *Machine) TierCounts() (fused, scalar, hooked uint64) {
+	return m.fusedInstr, m.scalarInstr, m.hookedInstr
+}
+
 // Float returns float register i of the device (for tests).
 func (m *Machine) Float(d Device, i int) float64 { return m.dev[d].f[i] }
 
@@ -176,9 +194,11 @@ func (m *Machine) Run(d Device, p *Program, stepBudget uint64) error {
 	var steps uint64
 	for {
 		if pc < 0 || pc >= len(code) {
+			m.hookedInstr += steps
 			return &Trap{Kind: TrapInvalidPC, Device: d, Program: p.Name, PC: pc}
 		}
 		if steps >= stepBudget {
+			m.hookedInstr += steps
 			return &Trap{Kind: TrapStepBudget, Device: d, Program: p.Name, PC: pc}
 		}
 		steps++
@@ -257,12 +277,14 @@ func (m *Machine) Run(d Device, p *Program, stepBudget uint64) error {
 		case LD:
 			addr := ds.r[in.A] + in.IImm
 			if addr < 0 || addr >= int64(len(m.mem)) {
+				m.hookedInstr += steps
 				return &Trap{Kind: TrapOOB, Device: d, Program: p.Name, PC: pc - 1}
 			}
 			m.writeF(ds, d, in, m.mem[addr])
 		case ST:
 			addr := ds.r[in.A] + in.IImm
 			if addr < 0 || addr >= int64(len(m.mem)) {
+				m.hookedInstr += steps
 				return &Trap{Kind: TrapOOB, Device: d, Program: p.Name, PC: pc - 1}
 			}
 			v := ds.f[in.B]
@@ -283,8 +305,10 @@ func (m *Machine) Run(d Device, p *Program, stepBudget uint64) error {
 				pc = int(in.IImm)
 			}
 		case HALT:
+			m.hookedInstr += steps
 			return nil
 		default:
+			m.hookedInstr += steps
 			return &Trap{Kind: TrapBadInstr, Device: d, Program: p.Name, PC: pc - 1}
 		}
 	}
@@ -312,20 +336,25 @@ func (m *Machine) runDirect(d Device, p *Program, stepBudget uint64) error {
 		kmap = p.plan.pcMap
 		kernels = p.plan.kernels
 	}
-	var steps uint64
+	var steps, fused uint64
 	for {
 		if pc < 0 || pc >= len(code) {
 			ds.count += steps
+			m.fusedInstr += fused
+			m.scalarInstr += steps - fused
 			return &Trap{Kind: TrapInvalidPC, Device: d, Program: p.Name, PC: pc}
 		}
 		if steps >= stepBudget {
 			ds.count += steps
+			m.fusedInstr += fused
+			m.scalarInstr += steps - fused
 			return &Trap{Kind: TrapStepBudget, Device: d, Program: p.Name, PC: pc}
 		}
 		if kmap != nil {
 			if ki := kmap[pc]; ki >= 0 {
 				if n, npc := kernels[ki].fn(m, ds, stepBudget-steps); n > 0 {
 					steps += n
+					fused += n
 					pc = npc
 					continue
 				}
@@ -407,6 +436,8 @@ func (m *Machine) runDirect(d Device, p *Program, stepBudget uint64) error {
 			addr := ds.r[in.A] + in.IImm
 			if addr < 0 || addr >= int64(len(mem)) {
 				ds.count += steps
+				m.fusedInstr += fused
+				m.scalarInstr += steps - fused
 				return &Trap{Kind: TrapOOB, Device: d, Program: p.Name, PC: pc - 1}
 			}
 			ds.f[in.Dst] = mem[addr]
@@ -414,6 +445,8 @@ func (m *Machine) runDirect(d Device, p *Program, stepBudget uint64) error {
 			addr := ds.r[in.A] + in.IImm
 			if addr < 0 || addr >= int64(len(mem)) {
 				ds.count += steps
+				m.fusedInstr += fused
+				m.scalarInstr += steps - fused
 				return &Trap{Kind: TrapOOB, Device: d, Program: p.Name, PC: pc - 1}
 			}
 			mem[addr] = ds.f[in.B]
@@ -429,9 +462,13 @@ func (m *Machine) runDirect(d Device, p *Program, stepBudget uint64) error {
 			}
 		case HALT:
 			ds.count += steps
+			m.fusedInstr += fused
+			m.scalarInstr += steps - fused
 			return nil
 		default:
 			ds.count += steps
+			m.fusedInstr += fused
+			m.scalarInstr += steps - fused
 			return &Trap{Kind: TrapBadInstr, Device: d, Program: p.Name, PC: pc - 1}
 		}
 	}
