@@ -377,9 +377,15 @@ func main() {
 	campFn := benchCampaignTransient(campaign.Options{CheckpointEvery: -1}, &campSteps)
 	r := testing.Benchmark(campFn)
 	add("campaign/transient-cold", r, campSteps)
-	campFn = benchCampaignTransient(campaign.Options{}, &campSteps)
+	// Fork-only (splice disabled) isolates the checkpoint/fork win;
+	// the default options add reconvergence splicing on top. All three
+	// configurations produce byte-identical campaigns.
+	campFn = benchCampaignTransient(campaign.Options{DisableSplice: true}, &campSteps)
 	r = testing.Benchmark(campFn)
 	add("campaign/transient-fork", r, campSteps)
+	campFn = benchCampaignTransient(campaign.Options{}, &campSteps)
+	r = testing.Benchmark(campFn)
+	add("campaign/transient-splice", r, campSteps)
 	add("render/center-camera", testing.Benchmark(benchRender), 0)
 	add("geom/project-full", testing.Benchmark(benchProject), 0)
 	add("geom/project-near", testing.Benchmark(benchProjectNear), 0)
@@ -463,7 +469,11 @@ func loadPreviousReport() (*Report, string) {
 
 // diffReports prints the change versus the previous report, entry by
 // entry: steps/s for full-simulation entries (higher is better), ns/op
-// for the rest (lower is better).
+// for the rest (lower is better). One-sided entries are tolerated in
+// both directions — a benchmark added since the previous report prints
+// as new, one dropped from the suite prints as removed — and an entry
+// whose metric kind changed (steps/s present on only one side) falls
+// back to the ns/op comparison both sides always carry.
 func diffReports(prev *Report, prevPath string, cur Report) {
 	if prev == nil {
 		return
@@ -479,12 +489,27 @@ func diffReports(prev *Report, prevPath string, cur Report) {
 			fmt.Printf("  %-28s (new entry)\n", e.Name)
 			continue
 		}
-		if e.StepsPerSec > 0 && p.StepsPerSec > 0 {
+		delete(old, e.Name)
+		switch {
+		case e.StepsPerSec > 0 && p.StepsPerSec > 0:
 			fmt.Printf("  %-28s %12.0f -> %12.0f steps/s  (%+.1f%%)\n",
 				e.Name, p.StepsPerSec, e.StepsPerSec, 100*(e.StepsPerSec/p.StepsPerSec-1))
-		} else if p.NsPerOp > 0 {
+		case p.NsPerOp > 0 && e.NsPerOp > 0:
 			fmt.Printf("  %-28s %12.0f -> %12.0f ns/op    (%+.1f%%)\n",
 				e.Name, p.NsPerOp, e.NsPerOp, 100*(e.NsPerOp/p.NsPerOp-1))
+		default:
+			fmt.Printf("  %-28s (not comparable)\n", e.Name)
 		}
+	}
+	// Entries only the previous report had: report them instead of
+	// silently dropping them, so a renamed or retired benchmark is
+	// visible in the diff.
+	removed := make([]string, 0, len(old))
+	for name := range old {
+		removed = append(removed, name)
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Printf("  %-28s (removed; was %.0f ns/op)\n", name, old[name].NsPerOp)
 	}
 }

@@ -29,6 +29,7 @@ func main() {
 		out       = flag.String("o", "", "write the report to this file as well as stdout")
 		telemetry = flag.String("telemetry", "", "write a JSONL run ledger (job spans + end-of-run metrics) to this file")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+		noSplice  = flag.Bool("no-splice", false, "disable reconvergence splicing (A/B switch; reports are byte-identical, only slower)")
 	)
 	flag.Parse()
 
@@ -50,6 +51,7 @@ func main() {
 	}
 	o.Seed = *seed
 	o.Log = os.Stderr
+	o.NoSplice = *noSplice
 
 	l := lab.New()
 	if *cache != "" {

@@ -1,8 +1,10 @@
 // Command ledgercheck validates JSONL telemetry ledgers written by the
 // -telemetry flag of the other drivers and prints a per-file digest:
-// span counts by phase and cache status, total queue/exec time, and the
-// metrics record. It exits nonzero on the first invalid file, so CI can
-// gate on the ledger schema.
+// span counts by phase and cache status, total queue/exec time, the
+// divergence-aware run summary (simulated steps, splice and early-exit
+// counts from the per-run spans), and the metrics record. It exits
+// nonzero on the first invalid file, so CI can gate on the ledger
+// schema.
 package main
 
 import (
@@ -53,20 +55,28 @@ func check(path string, quiet bool) error {
 
 	phases := map[string]int{}
 	caches := map[string]int{}
+	exits := map[string]int{}
 	var spans int
 	var queueNs, execNs int64
+	var simSteps int64
 	var metrics map[string]int64
 	for _, r := range recs {
 		switch r.Type {
 		case obs.RecordMeta:
-			fmt.Printf("%s: %s ledger, started %s (%s, GOMAXPROCS=%d)\n",
-				path, r.Meta.Tool, r.Meta.Start, r.Meta.GoVersion, r.Meta.GOMAXPROCS)
+			fmt.Printf("%s: %s ledger (schema %d), started %s (%s, GOMAXPROCS=%d)\n",
+				path, r.Meta.Tool, r.Meta.Schema, r.Meta.Start, r.Meta.GoVersion, r.Meta.GOMAXPROCS)
 		case obs.RecordSpan:
 			spans++
 			phases[r.Span.Phase]++
 			caches[r.Span.Cache]++
 			queueNs += r.Span.QueueNs
 			execNs += r.Span.ExecNs
+			if r.Span.ExitReason != "" {
+				exits[r.Span.ExitReason]++
+			}
+			if ss := r.Span.SimulatedSteps; len(ss) == 2 {
+				simSteps += int64(ss[1] - ss[0])
+			}
 		case obs.RecordMetrics:
 			metrics = r.Metrics
 		}
@@ -84,6 +94,13 @@ func check(path string, quiet bool) error {
 		fmt.Printf("; queue %s, exec %s\n",
 			time.Duration(queueNs).Round(time.Millisecond),
 			time.Duration(execNs).Round(time.Millisecond))
+	}
+	if runs := phases["run"]; runs > 0 {
+		fmt.Printf("  divergence: %d run spans, %d simulated steps", runs, simSteps)
+		for _, k := range sortedCounts(exits) {
+			fmt.Printf(", %d %s", exits[k], k)
+		}
+		fmt.Println()
 	}
 	if metrics != nil {
 		fmt.Printf("  %d metrics (sim.runs=%d, sim.steps=%d)\n",

@@ -138,6 +138,17 @@ func (a *Agent) SnapshotInto(dst *vm.MachineState) *vm.MachineState { return a.m
 // one snapshot concurrently).
 func (a *Agent) Restore(st *vm.MachineState) { a.mach.Restore(st) }
 
+// DigestFNV folds the agent's full mutable state into a running FNV-64a
+// hash; see vm.Machine.DigestFNV. Like Snapshot, this is entirely the
+// machine's state — the fusion pipeline's persistent memory (PID
+// integrator, EMA obstacle distance, previous waypoints) lives in fabric
+// memory and is covered by the machine digest.
+func (a *Agent) DigestFNV(h uint64) uint64 { return a.mach.DigestFNV(h) }
+
+// StateEquals reports bit-exact equality of the agent's live state and a
+// snapshot; see vm.Machine.StateEquals.
+func (a *Agent) StateEquals(st *vm.MachineState) bool { return a.mach.StateEquals(st) }
+
 // marshalFrame subsamples one camera frame into the staging buffer:
 // every other column always, every other row for side cameras.
 func marshalFrame(mem []float64, base int64, f sensor.Frame, rowStride int) {

@@ -60,6 +60,15 @@ type Options struct {
 	// injection cold from step 0 (the benchmark's reference
 	// configuration — results are identical, only slower).
 	CheckpointEvery int
+	// DisableSplice turns off reconvergence splicing for transient fork
+	// execution (results are identical, only slower); see
+	// lab.CampaignSpec.DisableSplice.
+	DisableSplice bool
+	// EarlyExit, when > 0, truncates injection runs once their trajectory
+	// diverges from the golden run by this many meters. This changes the
+	// recorded traces (it is part of the campaign's identity); see
+	// lab.CampaignSpec.EarlyExit.
+	EarlyExit float64
 }
 
 // Golden runs n fault-free experiments of the scenario in the given
@@ -113,6 +122,8 @@ func RunWithOptions(sc *scenario.Scenario, mode sim.Mode, target vm.Device, mode
 		Sizes:           sizes,
 		Seed:            seedBase,
 		CheckpointEvery: opts.CheckpointEvery,
+		DisableSplice:   opts.DisableSplice,
+		EarlyExit:       opts.EarlyExit,
 	}
 	if golden != nil {
 		l.ProvideGolden(lab.GoldenSpec{Scenario: sc.Name, Mode: mode, N: sizes.Golden, Seed: seedBase + 1000}, golden)

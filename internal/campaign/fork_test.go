@@ -31,10 +31,12 @@ func runHash(t *testing.T, r RunRecord) string {
 }
 
 // TestForkedCampaignMatchesCold is the campaign-level hard invariant:
-// fork execution is a pure wall-clock optimization. A transient campaign
-// with forking enabled must produce, run for run, byte-identical traces
-// and activation counts to the same campaign with forking disabled
-// (every run cold from step 0).
+// fork execution and reconvergence splicing are pure wall-clock
+// optimizations. A transient campaign under the default options (fork +
+// splice) must produce, run for run, byte-identical traces and
+// activation counts to the same campaign with splicing disabled (forked
+// full-length runs) and with forking disabled entirely (every run cold
+// from step 0).
 func TestForkedCampaignMatchesCold(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
@@ -46,21 +48,29 @@ func TestForkedCampaignMatchesCold(t *testing.T) {
 		for _, target := range []vm.Device{vm.CPU, vm.GPU} {
 			target := target
 			t.Run(mode.String()+"/"+target.String(), func(t *testing.T) {
-				forked := RunWithOptions(sc, mode, target, fi.Transient, sizes, 33, nil, Options{})
-				cold := RunWithOptions(sc, mode, target, fi.Transient, sizes, 33, nil, Options{CheckpointEvery: -1})
-				if len(forked.Runs) != len(cold.Runs) {
-					t.Fatalf("run counts differ: %d vs %d", len(forked.Runs), len(cold.Runs))
+				variants := []struct {
+					name string
+					camp *Campaign
+				}{
+					{"splice", RunWithOptions(sc, mode, target, fi.Transient, sizes, 33, nil, Options{})},
+					{"no-splice", RunWithOptions(sc, mode, target, fi.Transient, sizes, 33, nil, Options{DisableSplice: true})},
 				}
-				for i := range forked.Runs {
-					if forked.Runs[i].Plan != cold.Runs[i].Plan {
-						t.Fatalf("run %d: plans differ", i)
+				cold := RunWithOptions(sc, mode, target, fi.Transient, sizes, 33, nil, Options{CheckpointEvery: -1})
+				for _, v := range variants {
+					if len(v.camp.Runs) != len(cold.Runs) {
+						t.Fatalf("%s: run counts differ: %d vs %d", v.name, len(v.camp.Runs), len(cold.Runs))
 					}
-					if fh, ch := runHash(t, forked.Runs[i]), runHash(t, cold.Runs[i]); fh != ch {
-						t.Errorf("run %d (%s): forked trace %s != cold trace %s",
-							i, forked.Runs[i].Plan, fh, ch)
-					}
-					if fa, ca := forked.Runs[i].Result.Activations, cold.Runs[i].Result.Activations; fa != ca {
-						t.Errorf("run %d: forked activations %d != cold %d", i, fa, ca)
+					for i := range v.camp.Runs {
+						if v.camp.Runs[i].Plan != cold.Runs[i].Plan {
+							t.Fatalf("%s: run %d: plans differ", v.name, i)
+						}
+						if fh, ch := runHash(t, v.camp.Runs[i]), runHash(t, cold.Runs[i]); fh != ch {
+							t.Errorf("%s: run %d (%s): trace %s != cold trace %s",
+								v.name, i, v.camp.Runs[i].Plan, fh, ch)
+						}
+						if fa, ca := v.camp.Runs[i].Result.Activations, cold.Runs[i].Result.Activations; fa != ca {
+							t.Errorf("%s: run %d: activations %d != cold %d", v.name, i, fa, ca)
+						}
 					}
 				}
 			})

@@ -96,6 +96,26 @@ func (in *Injector) Snapshot() uint64 { return in.activations }
 // continues from the prefix total instead of restarting at zero.
 func (in *Injector) Restore(activations uint64) { in.activations = activations }
 
+// Quiescent reports whether the injector can never fire again, given the
+// target device's current cumulative dynamic instruction count. This is
+// the terminal-decidability test behind reconvergence splicing: a forked
+// run may only graft the golden suffix once its fault is provably spent.
+//
+// A transient plan is quiescent once it has fired (its single shot is
+// used up — Hook refuses further activations) or once the device's
+// counter has reached its DynIndex without firing: DynIndex is assigned
+// from the device counter at the writeback instruction and the counter
+// is monotone, so count >= DynIndex means the target instruction has
+// already executed. A permanent plan corrupts every future dynamic
+// instance of its opcode and is never quiescent while the run continues
+// (campaigns run permanent faults cold anyway).
+func (in *Injector) Quiescent(count uint64) bool {
+	if in.plan.Model != Transient {
+		return false
+	}
+	return in.activations > 0 || count >= in.plan.DynIndex
+}
+
 // Hook is the vm.FaultHook to install on the target machine.
 func (in *Injector) Hook(ev vm.WriteEvent) uint64 {
 	if ev.Device != in.plan.Target {

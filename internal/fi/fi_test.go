@@ -258,3 +258,35 @@ func TestInjectedRunDiffersFromGolden(t *testing.T) {
 		t.Error("high-bit permanent FMA corruption did not change the result")
 	}
 }
+
+// TestQuiescent pins the terminal-decidability gate behind reconvergence
+// splicing: a transient injector is quiescent exactly when it has fired
+// or when the device counter has provably passed its DynIndex; a
+// permanent injector never is.
+func TestQuiescent(t *testing.T) {
+	tr := NewInjector(Plan{Target: vm.GPU, Model: Transient, DynIndex: 100, Bit: 3})
+	if tr.Quiescent(0) {
+		t.Error("unfired transient with count 0 < DynIndex reported quiescent")
+	}
+	if tr.Quiescent(99) {
+		t.Error("unfired transient with count 99 < DynIndex 100 reported quiescent")
+	}
+	if !tr.Quiescent(100) {
+		t.Error("transient with count == DynIndex not quiescent (the target instruction already executed)")
+	}
+	if !tr.Quiescent(1 << 30) {
+		t.Error("transient with count past DynIndex not quiescent")
+	}
+
+	// Once fired, the single shot is spent regardless of the counter.
+	fired := NewInjector(Plan{Target: vm.GPU, Model: Transient, DynIndex: 100, Bit: 3})
+	fired.Restore(1)
+	if !fired.Quiescent(0) {
+		t.Error("fired transient not quiescent")
+	}
+
+	perm := NewInjector(Plan{Target: vm.GPU, Model: Permanent, Opcode: vm.FADD, Bit: 3})
+	if perm.Quiescent(1 << 40) {
+		t.Error("permanent injector reported quiescent; it corrupts every future instance")
+	}
+}

@@ -1,6 +1,9 @@
 package lab
 
 import (
+	"fmt"
+	"time"
+
 	"diverseav/internal/fi"
 	"diverseav/internal/geom"
 	"diverseav/internal/obs"
@@ -64,16 +67,27 @@ type Campaign struct {
 	Baseline []geom.Vec2
 }
 
-// ProfileWithCheckpoints is the checkpoint-emitting profiling pass: one
+// ProfileWithStream is the checkpoint-emitting profiling pass: one
 // fault-free run that records the instruction profile AND snapshots the
-// loop state every `every` steps. The profile observer never corrupts
+// loop state every `every` steps, returned together with the run's full
+// trace as a sim.GoldenStream. The profile observer never corrupts
 // anything, so the checkpoints are exactly those of a plain golden run
 // at the same seed — valid fork points for any injection run that
-// replays the seed and whose fault activates after the checkpoint.
-func ProfileWithCheckpoints(sc *scenario.Scenario, mode sim.Mode, seed uint64, every int) (*fi.Profile, []*sim.Checkpoint) {
+// replays the seed and whose fault activates after the checkpoint, and
+// (through the stream's digests) valid reconvergence splice points for
+// any fork whose fault is spent and whose state has returned to the
+// golden bits.
+func ProfileWithStream(sc *scenario.Scenario, mode sim.Mode, seed uint64, every int) (*fi.Profile, *sim.GoldenStream) {
 	var prof fi.Profile
 	res := sim.Run(sim.Config{Scenario: sc, Mode: mode, Seed: seed, Profile: &prof, CheckpointEvery: every})
-	return &prof, res.Checkpoints
+	return &prof, &sim.GoldenStream{Checkpoints: res.Checkpoints, Trace: res.Trace}
+}
+
+// ProfileWithCheckpoints is ProfileWithStream without the golden trace,
+// kept for callers that only fork and never splice.
+func ProfileWithCheckpoints(sc *scenario.Scenario, mode sim.Mode, seed uint64, every int) (*fi.Profile, []*sim.Checkpoint) {
+	prof, stream := ProfileWithStream(sc, mode, seed, every)
+	return prof, stream.Checkpoints
 }
 
 // DefaultCheckpointEvery is the golden-pass checkpoint interval (steps)
@@ -91,13 +105,17 @@ const DefaultCheckpointEvery = 50
 // prefix up to each plan's activation step, and (unless the spec
 // disables it) execute by forking from the latest profiling-pass
 // checkpoint at or before that step instead of re-simulating the prefix.
-// The fork-equivalence invariant (see internal/sim) guarantees
-// bit-identical traces, so CheckpointEvery only changes wall-clock,
-// never results — which is why it is excluded from the spec key.
+// Symmetrically, every fork tracks the profiling pass's golden stream:
+// once its fault has washed out bit-exactly, it splices the golden
+// suffix instead of simulating it. The fork-equivalence and
+// splice-equivalence invariants (see internal/sim) guarantee
+// bit-identical traces, so CheckpointEvery and DisableSplice only change
+// wall-clock, never results — which is why both are excluded from the
+// spec key.
 //
 // Permanent campaigns keep the cold path with per-run seeds: a permanent
-// fault corrupts from the first instruction, so no prefix is fault-free
-// and there is nothing to share.
+// fault corrupts from the first instruction, so no prefix is fault-free,
+// nothing is shareable, and the fault is never quiescent.
 func runCampaign(l *Lab, s CampaignSpec) *Campaign {
 	sc := l.scenarioByName(s.Scenario)
 	seedBase := s.Seed
@@ -107,11 +125,13 @@ func runCampaign(l *Lab, s CampaignSpec) *Campaign {
 	}
 
 	var prof *fi.Profile
+	var stream *sim.GoldenStream
 	var cps []*sim.Checkpoint
 	if s.Model == fi.Transient && every > 0 {
 		// Checkpoints are pooled live state, released below — this pass is
 		// private to the job and never enters the artifact store.
-		prof, cps = ProfileWithCheckpoints(sc, s.Mode, seedBase, every)
+		prof, stream = ProfileWithStream(sc, s.Mode, seedBase, every)
+		cps = stream.Checkpoints
 	} else {
 		prof = l.Profile(ProfileSpec{Scenario: s.Scenario, Mode: s.Mode, Seed: seedBase})
 	}
@@ -147,6 +167,11 @@ func runCampaign(l *Lab, s CampaignSpec) *Campaign {
 		faultAgents[i] = agentPick.Intn(2)
 	}
 	nAgents := s.Mode.Agents()
+	ledger := l.Ledger()
+	specKey := ""
+	if ledger != nil {
+		specKey = s.Key()
+	}
 	par.ForEach(len(plans), func(i int) {
 		plan := plans[i]
 		cfg := sim.Config{
@@ -155,22 +180,46 @@ func runCampaign(l *Lab, s CampaignSpec) *Campaign {
 			Fault:      &plan,
 			FaultAgent: faultAgents[i],
 		}
+		var began time.Time
+		if ledger != nil {
+			began = time.Now()
+		}
+		var res *sim.Result
 		if s.Model == fi.Transient {
 			// Replay seed: the injection run IS the profiling run plus one
-			// fault, which is what makes its prefix forkable.
+			// fault, which is what makes its prefix forkable and its suffix
+			// spliceable.
 			cfg.Seed = seedBase
+			cfg.Golden = stream
+			cfg.DisableSplice = s.DisableSplice
+			cfg.EarlyExitDivergence = s.EarlyExit
 			if cp := forkPoint(cps, prof, faultAgents[i]%nAgents, plan); cp != nil {
-				if res, err := sim.RunFrom(cp, cfg); err == nil {
+				if forked, err := sim.RunFrom(cp, cfg); err == nil {
 					obs.C("campaign.runs_forked").Inc()
-					c.Runs[i] = RunRecord{Plan: plan, Result: res}
-					return
+					res = forked
 				}
 			}
 		} else {
 			cfg.Seed = seedBase + 5000 + uint64(i)*104729
 		}
-		obs.C("campaign.runs_cold").Inc()
-		c.Runs[i] = RunRecord{Plan: plan, Result: sim.Run(cfg)}
+		if res == nil {
+			obs.C("campaign.runs_cold").Inc()
+			res = sim.Run(cfg)
+		}
+		c.Runs[i] = RunRecord{Plan: plan, Result: res}
+		if ledger != nil {
+			// One span per injection run: the exact step range the loop
+			// really simulated, and why it stopped short if it did. This is
+			// the ledger-level audit trail for divergence-aware execution.
+			ledger.EmitSpan(obs.Span{
+				Key:            fmt.Sprintf("%s/run-%03d", specKey, i),
+				Phase:          "run",
+				Cache:          obs.CacheComputed,
+				ExecNs:         time.Since(began).Nanoseconds(),
+				SimulatedSteps: []int{res.Exec.SimulatedFrom, res.Exec.SimulatedTo},
+				ExitReason:     res.Exec.ExitReason,
+			})
+		}
 	})
 	// Past the fork barrier every injection run has restored from its
 	// checkpoint; recycle the snapshot buffers for the next campaign's

@@ -92,6 +92,16 @@ func (l *Lab) SetLedger(led *obs.Ledger) {
 	l.mu.Unlock()
 }
 
+// Ledger returns the attached telemetry ledger, nil when none. Job
+// bodies use it to emit finer-grained spans than the per-job ones the
+// scheduler writes (e.g. the per-injection-run spans of a
+// divergence-aware campaign).
+func (l *Lab) Ledger() *obs.Ledger {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ledger
+}
+
 // SetProgress installs a completion callback invoked after every
 // Require job with (jobs done, jobs scheduled) for that Require call.
 // Callbacks may arrive concurrently from pool workers.

@@ -53,13 +53,27 @@ func TestRequireEmitsSpans(t *testing.T) {
 		t.Fatalf("emitted ledger invalid: %v", err)
 	}
 	spans := map[string]*obs.Span{}
+	runSpans := 0
 	for _, rec := range recs {
-		if rec.Type == obs.RecordSpan {
-			spans[rec.Span.Phase] = rec.Span
+		if rec.Type != obs.RecordSpan {
+			continue
 		}
+		if rec.Span.Phase == "run" {
+			// Divergence-aware campaigns additionally emit one span per
+			// injection run, keyed under the campaign's key.
+			runSpans++
+			if ss := rec.Span.SimulatedSteps; len(ss) != 2 || ss[1] < ss[0] {
+				t.Errorf("run span %s has malformed simulated_steps %v", rec.Span.Key, ss)
+			}
+			continue
+		}
+		spans[rec.Span.Phase] = rec.Span
 	}
 	if len(spans) != 2 {
-		t.Fatalf("got %d span phases %v, want 2 (golden, campaign)", len(spans), spans)
+		t.Fatalf("got %d job span phases %v, want 2 (golden, campaign)", len(spans), spans)
+	}
+	if runSpans != shortSizes().Transient {
+		t.Errorf("got %d run spans, want one per injection (%d)", runSpans, shortSizes().Transient)
 	}
 	g, c := spans["golden"], spans["campaign"]
 	if g == nil || c == nil {

@@ -176,6 +176,20 @@ type CampaignSpec struct {
 	// invariant (see internal/sim) it changes wall-clock only, never the
 	// artifact, so both strategies memoize to the same entry.
 	CheckpointEvery int
+	// DisableSplice turns off reconvergence splicing for transient fork
+	// execution: every injection run simulates to its natural end even
+	// after returning bit-exactly to the golden state. Like
+	// CheckpointEvery it is NOT part of Key(): by the splice-equivalence
+	// invariant (see internal/sim) splicing changes wall-clock only, never
+	// the artifact.
+	DisableSplice bool
+	// EarlyExit, when > 0, truncates injection runs as soon as their
+	// trajectory diverges from the golden run by at least this many meters
+	// (the hazard verdict is then terminal-decidable). Unlike splicing
+	// this changes the recorded traces, so it IS part of Key() — appended
+	// to the canonical string only when set, preserving every existing
+	// key.
+	EarlyExit float64
 }
 
 func (s CampaignSpec) norm() CampaignSpec {
@@ -191,9 +205,13 @@ func (s CampaignSpec) norm() CampaignSpec {
 }
 
 func (s CampaignSpec) canon() string {
-	return fmt.Sprintf("campaign|v1|%s|%s|%s|%s|tr=%d|reps=%d|stride=%d|seed=%d|golden=%s",
+	c := fmt.Sprintf("campaign|v1|%s|%s|%s|%s|tr=%d|reps=%d|stride=%d|seed=%d|golden=%s",
 		s.Scenario, s.Mode, s.Target, s.Model,
 		s.Sizes.Transient, s.Sizes.PermReps, s.Sizes.PermStride, s.Seed, s.Golden.Key())
+	if s.EarlyExit > 0 {
+		c += fmt.Sprintf("|exit=%g", s.EarlyExit)
+	}
+	return c
 }
 
 // Key implements Spec. Sizes.Golden and Sizes.Training do not appear

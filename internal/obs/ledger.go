@@ -27,6 +27,23 @@ const (
 	RecordMetrics = "metrics"
 )
 
+// SchemaVersion is the ledger schema this package writes. Version 2
+// added the per-run span fields (simulated_steps, exit_reason) for
+// divergence-aware campaign execution. Readers accept every version up
+// to this one: older ledgers simply lack the newer optional fields.
+const SchemaVersion = 2
+
+// Exit reasons a divergence-aware run span can carry. An empty reason
+// means the run simulated to its natural end.
+const (
+	// ExitSplice: the forked run reconverged bit-exactly with the golden
+	// run and grafted its suffix instead of simulating it.
+	ExitSplice = "splice"
+	// ExitEarly: the run's verdict became terminal-decidable (trajectory
+	// divergence crossed the configured threshold) and simulation stopped.
+	ExitEarly = "early-exit"
+)
+
 // Meta describes one tool invocation: what ran, where, and on what
 // hardware — enough to compare ledgers (and bench trajectories) across
 // machines.
@@ -40,17 +57,32 @@ type Meta struct {
 	GOOS       string   `json:"goos"`
 	GOARCH     string   `json:"goarch"`
 	GitSHA     string   `json:"git_sha,omitempty"`
+	// Schema is the ledger schema version the writer emitted
+	// (SchemaVersion). Zero in ledgers written before versioning; the
+	// decoder accepts both.
+	Schema int `json:"schema,omitempty"`
 }
 
-// Span records one lab job as the scheduler actually executed it.
+// Span records one lab job as the scheduler actually executed it, or —
+// for phase "run" — one injection run inside a divergence-aware
+// campaign job.
 type Span struct {
 	Key     string   `json:"key"`   // spec content-hash key
-	Phase   string   `json:"phase"` // golden | profile | campaign | detector
+	Phase   string   `json:"phase"` // golden | profile | campaign | detector | run
 	Deps    []string `json:"deps,omitempty"`
 	Cache   string   `json:"cache"` // computed | memory | disk
 	QueueNs int64    `json:"queue_ns"`
 	ExecNs  int64    `json:"exec_ns"`
 	Worker  int      `json:"worker"`
+	// SimulatedSteps is the [from, to) step range the run actually
+	// simulated (phase "run" only; schema >= 2). A spliced run's range
+	// ends at the reconvergence step, an early-exited run's at the
+	// truncation step — everything the trace holds beyond it came from
+	// the golden suffix or was never produced.
+	SimulatedSteps []int `json:"simulated_steps,omitempty"`
+	// ExitReason is why simulation stopped short of the scenario end:
+	// ExitSplice or ExitEarly. Empty for full-length runs.
+	ExitReason string `json:"exit_reason,omitempty"`
 }
 
 // Record is the tagged union written one-per-line to the ledger.
@@ -151,6 +183,7 @@ func NewMeta(tool string) Meta {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GitSHA:     GitSHA(),
+		Schema:     SchemaVersion,
 	}
 }
 
@@ -178,9 +211,12 @@ func ReadLedger(r io.Reader) ([]Record, error) {
 }
 
 // Validate checks a decoded ledger against the schema: a leading meta
-// record, known record types, well-formed spans (nonempty key and
-// phase, known cache status, non-negative durations), and non-negative
-// elapsed stamps.
+// record with a supported schema version, known record types,
+// well-formed spans (nonempty key and phase, known cache status,
+// non-negative durations, well-formed simulated_steps ranges and known
+// exit reasons when present), and non-negative elapsed stamps. Ledgers
+// written before schema versioning (no schema field, no run spans)
+// validate unchanged.
 func Validate(recs []Record) error {
 	if len(recs) == 0 {
 		return fmt.Errorf("ledger is empty")
@@ -201,6 +237,10 @@ func Validate(recs []Record) error {
 			if rec.Meta.Tool == "" {
 				return fmt.Errorf("ledger record %d: meta without tool", n)
 			}
+			if rec.Meta.Schema < 0 || rec.Meta.Schema > SchemaVersion {
+				return fmt.Errorf("ledger record %d: schema %d not supported (this reader knows <= %d)",
+					n, rec.Meta.Schema, SchemaVersion)
+			}
 		case RecordSpan:
 			s := rec.Span
 			if s == nil {
@@ -219,6 +259,16 @@ func Validate(recs []Record) error {
 			}
 			if s.QueueNs < 0 || s.ExecNs < 0 {
 				return fmt.Errorf("ledger record %d: negative span duration", n)
+			}
+			if ss := s.SimulatedSteps; ss != nil {
+				if len(ss) != 2 || ss[0] < 0 || ss[1] < ss[0] {
+					return fmt.Errorf("ledger record %d: malformed simulated_steps %v (want [from, to), 0 <= from <= to)", n, ss)
+				}
+			}
+			switch s.ExitReason {
+			case "", ExitSplice, ExitEarly:
+			default:
+				return fmt.Errorf("ledger record %d: unknown exit_reason %q", n, s.ExitReason)
 			}
 		case RecordMetrics:
 			if len(rec.Metrics) == 0 {

@@ -147,3 +147,99 @@ func TestReadLedgerRejectsGarbage(t *testing.T) {
 		t.Fatal("garbage line accepted")
 	}
 }
+
+// TestRunSpanRoundTrip pins the schema-v2 per-run span fields: the
+// simulated step range and exit reason survive the encode/decode cycle
+// and validate, over every legal exit reason.
+func TestRunSpanRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLedger(&buf)
+	l.EmitMeta(NewMeta("test-tool"))
+	l.EmitSpan(Span{Key: "c/run-000", Phase: "run", Cache: CacheComputed,
+		SimulatedSteps: []int{120, 480}, ExitReason: ExitSplice})
+	l.EmitSpan(Span{Key: "c/run-001", Phase: "run", Cache: CacheComputed,
+		SimulatedSteps: []int{0, 233}, ExitReason: ExitEarly})
+	l.EmitSpan(Span{Key: "c/run-002", Phase: "run", Cache: CacheComputed,
+		SimulatedSteps: []int{120, 1200}})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadLedger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(recs); err != nil {
+		t.Fatalf("valid v2 ledger rejected: %v", err)
+	}
+	if recs[0].Meta.Schema != SchemaVersion {
+		t.Errorf("meta schema = %d, want %d", recs[0].Meta.Schema, SchemaVersion)
+	}
+	s := recs[1].Span
+	if s.SimulatedSteps[0] != 120 || s.SimulatedSteps[1] != 480 || s.ExitReason != ExitSplice {
+		t.Errorf("splice run span lost fields: %+v", s)
+	}
+	s = recs[2].Span
+	if s.SimulatedSteps[1] != 233 || s.ExitReason != ExitEarly {
+		t.Errorf("early-exit run span lost fields: %+v", s)
+	}
+	if s := recs[3].Span; s.ExitReason != "" || s.SimulatedSteps[1] != 1200 {
+		t.Errorf("full-length run span lost fields: %+v", s)
+	}
+}
+
+// TestValidateOldSchemaLedger feeds the decoder a literal pre-v2 ledger
+// (no schema field, no run spans, no divergence fields) — the format
+// every ledger on disk before this change has. It must decode and
+// validate unchanged.
+func TestValidateOldSchemaLedger(t *testing.T) {
+	old := `{"type":"meta","elapsed_ns":0,"meta":{"tool":"experiments","start":"2026-08-05T10:00:00Z","go_version":"go1.22","gomaxprocs":8,"num_cpu":8,"goos":"linux","goarch":"amd64"}}
+{"type":"span","elapsed_ns":100,"span":{"key":"golden/abc","phase":"golden","cache":"computed","queue_ns":10,"exec_ns":500,"worker":0}}
+{"type":"span","elapsed_ns":200,"span":{"key":"campaign/def","phase":"campaign","deps":["golden/abc"],"cache":"disk","queue_ns":0,"exec_ns":900,"worker":1}}
+{"type":"metrics","elapsed_ns":300,"metrics":{"sim.runs":4}}
+`
+	recs, err := ReadLedger(strings.NewReader(old))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(recs); err != nil {
+		t.Fatalf("pre-versioning ledger rejected: %v", err)
+	}
+	if recs[0].Meta.Schema != 0 {
+		t.Errorf("old meta decoded with schema %d, want 0", recs[0].Meta.Schema)
+	}
+	if recs[1].Span.SimulatedSteps != nil || recs[1].Span.ExitReason != "" {
+		t.Errorf("old span grew divergence fields: %+v", recs[1].Span)
+	}
+}
+
+// TestValidateRejectsDivergenceFields extends the rejection table to the
+// v2 fields.
+func TestValidateRejectsDivergenceFields(t *testing.T) {
+	meta := Record{Type: RecordMeta, Meta: &Meta{Tool: "t"}}
+	span := func(s Span) []Record {
+		s.Key, s.Phase, s.Cache = "k", "run", CacheComputed
+		return []Record{meta, {Type: RecordSpan, Span: &s}}
+	}
+	cases := []struct {
+		name string
+		recs []Record
+		want string
+	}{
+		{"future schema", []Record{{Type: RecordMeta, Meta: &Meta{Tool: "t", Schema: SchemaVersion + 1}}}, "not supported"},
+		{"one-sided range", span(Span{SimulatedSteps: []int{5}}), "simulated_steps"},
+		{"inverted range", span(Span{SimulatedSteps: []int{9, 3}}), "simulated_steps"},
+		{"negative range", span(Span{SimulatedSteps: []int{-1, 3}}), "simulated_steps"},
+		{"bogus exit reason", span(Span{ExitReason: "teleport"}), "exit_reason"},
+	}
+	for _, tc := range cases {
+		err := Validate(tc.recs)
+		if err == nil {
+			t.Errorf("%s: Validate accepted invalid ledger", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -126,6 +126,14 @@ func WriteSummary(w io.Writer, snap map[string]int64, wall time.Duration) {
 	if forked+cold > 0 {
 		fmt.Fprintf(w, "campaign: %d forked runs, %d cold runs\n", forked, cold)
 	}
+	if spliced := snap["sim.runs_spliced"]; spliced > 0 || snap["sim.runs_early_exit"] > 0 {
+		fmt.Fprintf(w, "divergence: %d runs spliced (%d golden steps grafted), %d early exits",
+			spliced, snap["sim.steps_spliced"], snap["sim.runs_early_exit"])
+		if rej := snap["sim.splice_rejects"]; rej > 0 {
+			fmt.Fprintf(w, ", %d digest collisions rejected", rej)
+		}
+		fmt.Fprintln(w)
+	}
 	if taken := snap["sim.checkpoints"]; taken > 0 {
 		fmt.Fprintf(w, "checkpoints: %d taken, %d buffers reused from pool\n",
 			taken, snap["sim.checkpoint_reuse"])

@@ -1,0 +1,83 @@
+package physics
+
+import "math"
+
+// digestWord folds one 64-bit word into a running FNV-64a hash (lane-wise
+// variant; see the twin helper in internal/vm).
+func digestWord(h, w uint64) uint64 { return (h ^ w) * 1099511628211 }
+
+// DigestFNV folds the vehicle state — pose, speed, acceleration, yaw
+// rate, jerk — into a running FNV-64a hash by IEEE-754 bit pattern. It
+// covers exactly the fields a State snapshot carries and is the
+// divergence tracker's cheap probe for EqualBits.
+func (s State) DigestFNV(h uint64) uint64 {
+	h = digestWord(h, math.Float64bits(s.Pose.Pos.X))
+	h = digestWord(h, math.Float64bits(s.Pose.Pos.Y))
+	h = digestWord(h, math.Float64bits(s.Pose.Yaw))
+	h = digestWord(h, math.Float64bits(s.V))
+	h = digestWord(h, math.Float64bits(s.A))
+	h = digestWord(h, math.Float64bits(s.Omega))
+	h = digestWord(h, math.Float64bits(s.AlphaDot))
+	return h
+}
+
+// EqualBits reports bit-exact equality of two vehicle states. Floats
+// compare by bit pattern, so NaN payloads compare equal to themselves
+// and ±0 differ — the identity the reconvergence splice requires, which
+// plain == on floats would not provide.
+func (s State) EqualBits(o State) bool {
+	return math.Float64bits(s.Pose.Pos.X) == math.Float64bits(o.Pose.Pos.X) &&
+		math.Float64bits(s.Pose.Pos.Y) == math.Float64bits(o.Pose.Pos.Y) &&
+		math.Float64bits(s.Pose.Yaw) == math.Float64bits(o.Pose.Yaw) &&
+		math.Float64bits(s.V) == math.Float64bits(o.V) &&
+		math.Float64bits(s.A) == math.Float64bits(o.A) &&
+		math.Float64bits(s.Omega) == math.Float64bits(o.Omega) &&
+		math.Float64bits(s.AlphaDot) == math.Float64bits(o.AlphaDot)
+}
+
+// DigestFNV folds the follower's mutable control state — vehicle state,
+// target speed, lookahead, and station cursor — into a running FNV-64a
+// hash. The path is deliberately not hashed: lane paths are shared by
+// pointer, but a fork that replays a mid-run SwitchPath rebuilds an
+// equal-content trajectory under a fresh allocation, and hashing point
+// sets every probe would cost more than the probe saves. Path identity
+// is left to StateEquals, which a digest match must always be confirmed
+// by before any splice.
+func (f *LaneFollower) DigestFNV(h uint64) uint64 {
+	h = f.Vehicle.State.DigestFNV(h)
+	h = digestWord(h, math.Float64bits(f.TargetSpeed))
+	h = digestWord(h, math.Float64bits(f.Lookahead))
+	h = digestWord(h, math.Float64bits(f.station))
+	return h
+}
+
+// StateEquals reports whether the follower's live state is bit-exactly
+// the snapshot. The path compares by pointer first (the common case:
+// lane centerlines are shared read-only), falling back to point-wise
+// bit equality so a fork that rebuilt an identical mid-run merge
+// trajectory under a new allocation still reconverges.
+func (f *LaneFollower) StateEquals(st FollowerState) bool {
+	if !f.Vehicle.State.EqualBits(st.Vehicle) ||
+		math.Float64bits(f.TargetSpeed) != math.Float64bits(st.TargetSpeed) ||
+		math.Float64bits(f.Lookahead) != math.Float64bits(st.Lookahead) ||
+		math.Float64bits(f.station) != math.Float64bits(st.Station) {
+		return false
+	}
+	if f.Path == st.Path {
+		return true
+	}
+	if f.Path == nil || st.Path == nil {
+		return false
+	}
+	a, b := f.Path.Points(), st.Path.Points()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i].X) != math.Float64bits(b[i].X) ||
+			math.Float64bits(a[i].Y) != math.Float64bits(b[i].Y) {
+			return false
+		}
+	}
+	return true
+}

@@ -40,6 +40,11 @@ type Options struct {
 	// selects a fresh in-memory lab; supply one (possibly disk-backed,
 	// see lab.SetDisk) to share artifacts across studies or invocations.
 	Lab *lab.Lab
+	// NoSplice disables reconvergence splicing in every campaign of the
+	// study. Reports are byte-identical either way (the splice-equivalence
+	// invariant); this is the A/B switch the CI smoke test uses to prove
+	// it end to end.
+	NoSplice bool
 }
 
 // DefaultOptions is the scale used by cmd/experiments.
@@ -108,6 +113,7 @@ func buildSpecs(o Options) studySpecs {
 				sp.rr = append(sp.rr, lab.CampaignSpec{
 					Scenario: sc.Name, Mode: sim.RoundRobin, Target: target, Model: model,
 					Sizes: o.Sizes, Seed: base + uint64(target)*31 + uint64(model)*57, Golden: goldenRR,
+					DisableSplice: o.NoSplice,
 				})
 			}
 		}
@@ -119,10 +125,12 @@ func buildSpecs(o Options) studySpecs {
 			sp.fd = append(sp.fd, lab.CampaignSpec{
 				Scenario: sc.Name, Mode: sim.Duplicate, Target: vm.GPU, Model: model,
 				Sizes: o.Sizes, Seed: base + 4000 + uint64(model), Golden: goldenFD,
+				DisableSplice: o.NoSplice,
 			})
 			sp.single = append(sp.single, lab.CampaignSpec{
 				Scenario: sc.Name, Mode: sim.Single, Target: vm.GPU, Model: model,
 				Sizes: o.Sizes, Seed: base + 5000 + uint64(model), Golden: goldenSG,
+				DisableSplice: o.NoSplice,
 			})
 		}
 	}

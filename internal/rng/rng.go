@@ -127,6 +127,18 @@ func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
 // number of restored generators.
 type State [4]uint64
 
+// DigestFNV folds the stream position into a running FNV-64a hash
+// (lane-wise: one XOR-multiply round per 64-bit word). State is a plain
+// comparable value, so equality needs no helper; the digest hook exists
+// so the divergence tracker in internal/sim can probe a whole run state
+// — RNG streams included — with one rolling hash.
+func (s State) DigestFNV(h uint64) uint64 {
+	for _, w := range s {
+		h = (h ^ w) * 1099511628211
+	}
+	return h
+}
+
 // Snapshot captures the generator's current stream position without
 // advancing it.
 func (r *Rand) Snapshot() State { return r.s }

@@ -139,6 +139,47 @@ func (e *Env) SnapshotInto(dst *EnvState) *EnvState {
 	return dst
 }
 
+// DigestFNV folds the environment's mutable state — ego vehicle state,
+// scenario RNG stream, and every NPC's follower/flag state — into a
+// running FNV-64a hash. It covers exactly the state SnapshotInto
+// captures (minus shared immutable geometry) and must be kept in
+// lockstep with it: the divergence tracker in internal/sim uses
+// digest equality as the cheap necessary condition for StateEquals.
+func (e *Env) DigestFNV(h uint64) uint64 {
+	h = e.Ego.State.DigestFNV(h)
+	h = e.Rand.Snapshot().DigestFNV(h)
+	for _, n := range e.NPCs {
+		h = n.Follower.DigestFNV(h)
+		var flags uint64
+		if n.Braking {
+			flags = 1
+		}
+		flags |= uint64(int64(n.Phase)) << 1
+		h = (h ^ flags) * 1099511628211
+	}
+	return h
+}
+
+// StateEquals reports whether the live environment's mutable state is
+// bit-exactly the snapshot: same ego state, RNG position, and NPC
+// follower/script state. It is the full confirmation behind a DigestFNV
+// match.
+func (e *Env) StateEquals(st *EnvState) bool {
+	if len(e.NPCs) != len(st.NPCs) {
+		return false
+	}
+	if !e.Ego.State.EqualBits(st.Ego) || e.Rand.Snapshot() != st.Rand {
+		return false
+	}
+	for i, n := range e.NPCs {
+		s := &st.NPCs[i]
+		if n.Braking != s.Braking || n.Phase != s.Phase || !n.Follower.StateEquals(s.Follower) {
+			return false
+		}
+	}
+	return true
+}
+
 // Restore rewinds a freshly instantiated environment (same scenario,
 // same seed) to a snapshot. The NPC sets must match: checkpointing does
 // not support scripts that add or remove NPCs mid-run, because their

@@ -49,6 +49,13 @@ type Checkpoint struct {
 	// loop executes steps [Step, total)).
 	Step int
 
+	// Digest is the FNV-64a fold of the runner's full mutable state at
+	// Step (runner.digest). Divergence-aware forks compare their own
+	// digest against it as the cheap necessary condition for a
+	// reconvergence splice; equality is always confirmed by the full
+	// stateEquals before any suffix is grafted.
+	Digest uint64
+
 	Env         *scenario.EnvState
 	IMU         rng.State
 	Jitter      rng.State
@@ -104,6 +111,7 @@ func (r *runner) snapshot(step int) *Checkpoint {
 	cp.Overlap = r.cfg.Overlap
 	cp.SensorNoiseStd = r.cfg.SensorNoiseStd
 	cp.Step = step
+	cp.Digest = r.digest()
 	cp.Env = r.env.SnapshotInto(cp.Env)
 	cp.IMU = r.imu.Snapshot()
 	cp.Jitter = r.jitter.Snapshot()

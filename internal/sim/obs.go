@@ -23,6 +23,12 @@ type simInstruments struct {
 	instrFused  *obs.Counter // VM instructions in tier-1 fused kernels
 	instrScalar *obs.Counter // VM instructions in the tier-0 scalar loop
 	instrHooked *obs.Counter // VM instructions in the hooked loop
+
+	// Divergence-aware execution.
+	runsSpliced   *obs.Counter // runs that ended in a reconvergence splice
+	runsEarlyExit *obs.Counter // runs truncated by the early-exit verdict
+	stepsSpliced  *obs.Counter // golden-suffix steps grafted instead of simulated
+	spliceRejects *obs.Counter // digest collisions rejected by the full compare
 }
 
 var (
@@ -47,6 +53,11 @@ func instruments() *simInstruments {
 			instrFused:  obs.C("vm.instr_fused"),
 			instrScalar: obs.C("vm.instr_scalar"),
 			instrHooked: obs.C("vm.instr_hooked"),
+
+			runsSpliced:   obs.C("sim.runs_spliced"),
+			runsEarlyExit: obs.C("sim.runs_early_exit"),
+			stepsSpliced:  obs.C("sim.steps_spliced"),
+			spliceRejects: obs.C("sim.splice_rejects"),
 		}
 	})
 	return &simInst
@@ -56,14 +67,24 @@ func instruments() *simInstruments {
 // Machines are private to the runner and freshly constructed by
 // newRunner, so their tier counters hold exactly this run's (or, for a
 // fork, this suffix's) instructions.
-func (r *runner) publishRun(start int, res *Result) {
+func (r *runner) publishRun(res *Result) {
 	in := instruments()
 	if in == nil {
 		return
 	}
 	in.runs.Inc()
-	if executed := res.Trace.EndStep + 1 - start; executed > 0 {
+	// sim.steps counts steps the loop actually executed: a spliced or
+	// early-exited run contributes only its simulated range, which is
+	// exactly what makes the campaign steps/s honest about splice wins.
+	if executed := res.Exec.SimulatedTo - res.Exec.SimulatedFrom; executed > 0 {
 		in.steps.Add(uint64(executed))
+	}
+	switch res.Exec.ExitReason {
+	case ExitSplice:
+		in.runsSpliced.Inc()
+		in.stepsSpliced.Add(uint64(res.Exec.SplicedSteps))
+	case ExitEarly:
+		in.runsEarlyExit.Inc()
 	}
 	if res.Trace.Collided() {
 		in.collisions.Inc()

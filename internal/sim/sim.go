@@ -109,6 +109,26 @@ type Config struct {
 	// differential suites); this switch exists so trace-level regression
 	// tests and benchmarks can compare them end to end.
 	ForceVMTier0 bool
+	// Golden, when non-nil, makes the run divergence-aware: at every step
+	// for which the golden stream holds a checkpoint, a run whose fault is
+	// provably spent compares its state digest against the golden digest
+	// and, on confirmed bit-exact reconvergence, splices the golden suffix
+	// onto its trace instead of simulating it. The output is byte-identical
+	// either way (the splice-equivalence tests pin this), so Golden is pure
+	// execution strategy — like CheckpointEvery, it must never enter an
+	// artifact cache key.
+	Golden *GoldenStream
+	// DisableSplice turns reconvergence splicing off while keeping Golden
+	// available for early-exit checks: the escape hatch for A/B-ing spliced
+	// against full-length execution.
+	DisableSplice bool
+	// EarlyExitDivergence, when > 0 and Golden is set, truncates the run as
+	// soon as the ego's position diverges from the golden trajectory by at
+	// least this many meters: past that point the run's hazard verdict is
+	// terminal-decidable (trajectory divergence is a running maximum).
+	// Unlike splicing this changes the recorded trace, so campaign specs
+	// must key on it.
+	EarlyExitDivergence float64
 }
 
 // MemFault is a single uncorrected memory bit flip (ECC-off model).
@@ -120,12 +140,15 @@ type MemFault struct {
 }
 
 // Result is the run outcome: the full trace plus fault activation
-// bookkeeping, and — when the run was configured with CheckpointEvery —
-// the emitted checkpoints, in step order.
+// bookkeeping, the execution-strategy metadata (which steps were really
+// simulated and why simulation stopped, if early), and — when the run
+// was configured with CheckpointEvery — the emitted checkpoints, in
+// step order.
 type Result struct {
 	Trace       *trace.Trace
 	Activations uint64
 	Checkpoints []*Checkpoint
+	Exec        ExecInfo
 }
 
 // runner is one experiment's live state: everything the closed loop
@@ -143,6 +166,11 @@ type runner struct {
 	jitter    *rng.Rand
 	agents    []*agent.Agent
 	injectors []*fi.Injector
+	// injAgents[k] is the agent index injectors[k] is attached to (the
+	// quiescence probe reads that machine's instruction counter).
+	injAgents []int
+	golden    *GoldenStream
+	earlyExit bool
 	tr        *trace.Trace
 	steps     int
 
@@ -200,6 +228,7 @@ func newRunner(cfg Config) *runner {
 				inj := fi.NewInjector(*cfg.Fault)
 				r.agents[i].Machine().SetFaultHook(inj.Hook)
 				r.injectors = append(r.injectors, inj)
+				r.injAgents = append(r.injAgents, i)
 			}
 		case cfg.Profile != nil && i == 0:
 			r.agents[i].Machine().SetFaultHook(cfg.Profile.Observe())
@@ -222,6 +251,7 @@ func newRunner(cfg Config) *runner {
 		r.tr.Fault = cfg.Fault.String()
 	}
 
+	r.golden = cfg.Golden
 	r.steps = int(cfg.Scenario.Duration * Hz)
 	r.appliedBy = -1
 	r.lastFrame = [2]int{-1, -1}
@@ -256,6 +286,15 @@ func (r *runner) run(start int) *Result {
 	for step := start; step < r.steps; step++ {
 		if cfg.CheckpointEvery > 0 && step > start && step%cfg.CheckpointEvery == 0 {
 			r.checkpoints = append(r.checkpoints, r.snapshot(step))
+		}
+		// Reconvergence probe: when the golden stream holds a checkpoint
+		// for this exact top-of-step instant and the fault is spent,
+		// bit-exact state equality lets the run graft the golden suffix
+		// instead of simulating it.
+		if r.golden != nil && !cfg.DisableSplice && step > start {
+			if res := r.trySplice(step, start); res != nil {
+				return res
+			}
 		}
 		t := float64(step) * dt
 
@@ -374,6 +413,15 @@ func (r *runner) run(start int) *Result {
 				return r.finish(start)
 			}
 		}
+
+		// Early exit: the trajectory has departed from the golden run far
+		// enough that the hazard verdict is already decided — the rest of
+		// the run cannot change it.
+		if r.golden != nil && cfg.EarlyExitDivergence > 0 &&
+			r.divergedBeyond(step, s.Pose.Pos.X, s.Pose.Pos.Y) {
+			r.earlyExit = true
+			return r.finish(start)
+		}
 	}
 
 	return r.finish(start)
@@ -383,8 +431,16 @@ func (r *runner) run(start int) *Result {
 // publishes the run's aggregate telemetry (a no-op when disabled).
 func (r *runner) finish(start int) *Result {
 	recordInstr(r.tr, r.agents)
-	res := &Result{Trace: r.tr, Activations: totalActivations(r.injectors), Checkpoints: r.checkpoints}
-	r.publishRun(start, res)
+	res := &Result{
+		Trace:       r.tr,
+		Activations: totalActivations(r.injectors),
+		Checkpoints: r.checkpoints,
+		Exec:        ExecInfo{SimulatedFrom: start, SimulatedTo: r.tr.EndStep + 1},
+	}
+	if r.earlyExit {
+		res.Exec.ExitReason = ExitEarly
+	}
+	r.publishRun(res)
 	return res
 }
 

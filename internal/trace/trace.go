@@ -99,6 +99,18 @@ func (tr *Trace) SnapshotInto(dst *Trace) *Trace {
 	return dst
 }
 
+// CursorDigestFNV folds the trace's write cursor — the recorded step
+// count and EndStep — into a running FNV-64a hash. Step contents are
+// deliberately excluded: a forked injection run's recorded prefix
+// legitimately differs from the golden run's after the fault activates,
+// and reconvergence splicing only requires the two runs' *future*
+// execution to coincide, which depends on the cursor (where the next
+// step lands) but never on what was already recorded.
+func (tr *Trace) CursorDigestFNV(h uint64) uint64 {
+	h = (h ^ uint64(len(tr.Steps))) * 1099511628211
+	return (h ^ uint64(int64(tr.EndStep))) * 1099511628211
+}
+
 // Duration returns the simulated length of the trace in seconds.
 func (tr *Trace) Duration() float64 {
 	return float64(len(tr.Steps)) / tr.Hz

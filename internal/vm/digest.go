@@ -1,0 +1,64 @@
+package vm
+
+import "math"
+
+// digestWord folds one 64-bit word into a running FNV-64a hash, treating
+// the word as a single lane (one XOR-multiply round per word instead of
+// per byte). Divergence tracking digests ~50k words per probe, so the
+// lane-wise variant matters; the constant is the standard FNV-64 prime.
+// Every package with digest hooks carries its own private copy of this
+// one-liner rather than exporting a hashing micro-API.
+func digestWord(h, w uint64) uint64 { return (h ^ w) * 1099511628211 }
+
+// DigestFNV folds the machine's full architectural state — data memory,
+// both devices' register files, and their dynamic instruction counters —
+// into a running FNV-64a hash. Floats are hashed by their IEEE-754 bit
+// patterns, so the digest distinguishes ±0 and compares NaNs by payload:
+// exactly the bit-exact equality contract of StateEquals. The digest
+// covers the same state as SnapshotInto and must be kept in lockstep
+// with it; the divergence tracker in internal/sim relies on
+// digest-equality being a necessary condition for StateEquals.
+func (m *Machine) DigestFNV(h uint64) uint64 {
+	for _, w := range m.mem {
+		h = digestWord(h, math.Float64bits(w))
+	}
+	for d := range m.dev {
+		for _, f := range m.dev[d].f {
+			h = digestWord(h, math.Float64bits(f))
+		}
+		for _, x := range m.dev[d].r {
+			h = digestWord(h, uint64(x))
+		}
+		h = digestWord(h, m.dev[d].count)
+	}
+	return h
+}
+
+// StateEquals reports whether the machine's live architectural state is
+// bit-exactly the snapshot: same memory image, register files, and
+// instruction counters. Floats compare by bit pattern (not ==), so a
+// NaN-carrying machine still equals a snapshot with the same NaN bits
+// and +0 differs from −0 — the reconvergence-splice contract is bitwise
+// identity of future execution, which float semantics alone would not
+// guarantee.
+func (m *Machine) StateEquals(st *MachineState) bool {
+	if len(m.mem) != len(st.Mem) {
+		return false
+	}
+	for i, w := range m.mem {
+		if math.Float64bits(w) != math.Float64bits(st.Mem[i]) {
+			return false
+		}
+	}
+	for d := range m.dev {
+		if m.dev[d].count != st.Dev[d].Count || m.dev[d].r != st.Dev[d].R {
+			return false
+		}
+		for i, f := range m.dev[d].f {
+			if math.Float64bits(f) != math.Float64bits(st.Dev[d].F[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
