@@ -6,12 +6,17 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench [-o BENCH_2006-01-02.json] [-benchtime 3x]
+//	go run ./cmd/bench [-o BENCH_2006-01-02.json] [-run campaign] [-benchtime 3x]
 //	                   [-cpuprofile cpu.out] [-memprofile mem.out]
 //
-// -cpuprofile profiles the whole benchmark suite; -memprofile writes a
-// heap profile after the last benchmark (post-GC, so it shows retained
-// memory, not transient garbage). Inspect with `go tool pprof`.
+// -run restricts the suite to entries matching a regexp (the usual
+// iterate-on-one-benchmark loop). Without -o/-out the output name is
+// derived from the date and never overwrites an existing report: a
+// same-day rerun writes BENCH_<date>.2.json and diffs against the
+// earlier file. -cpuprofile profiles the whole benchmark suite;
+// -memprofile writes a heap profile after the last benchmark (post-GC,
+// so it shows retained memory, not transient garbage). Inspect with
+// `go tool pprof`.
 package main
 
 import (
@@ -21,9 +26,12 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"regexp"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -278,7 +286,9 @@ func benchProjectNear(b *testing.B) {
 
 func main() {
 	testing.Init() // register -test.* so testing.Benchmark works under `go run`
-	out := flag.String("o", "", "output path (default BENCH_<date>.json)")
+	out := flag.String("o", "", "output path (default BENCH_<date>.json, suffixed .2, .3... if taken)")
+	outAlias := flag.String("out", "", "alias for -o")
+	runFilter := flag.String("run", "", "only run benchmarks whose name matches this regexp")
 	benchtime := flag.String("benchtime", "", "benchtime for the benchmarks, e.g. 3x (default: testing's 1s)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole suite to this file")
 	memprofile := flag.String("memprofile", "", "write a post-suite heap profile to this file")
@@ -303,10 +313,31 @@ func main() {
 		}
 	}
 
+	var match *regexp.Regexp
+	if *runFilter != "" {
+		re, err := regexp.Compile(*runFilter)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "run:", err)
+			os.Exit(2)
+		}
+		match = re
+	}
+
 	date := time.Now().Format("2006-01-02")
 	path := *out
+	if *outAlias != "" {
+		path = *outAlias
+	}
 	if path == "" {
+		// Never silently overwrite an earlier same-day report: suffix
+		// reruns, so the day's history stays diffable.
 		path = fmt.Sprintf("BENCH_%s.json", date)
+		for n := 2; ; n++ {
+			if _, err := os.Stat(path); os.IsNotExist(err) {
+				break
+			}
+			path = fmt.Sprintf("BENCH_%s.%d.json", date, n)
+		}
 	}
 	prev, prevPath := loadPreviousReport()
 
@@ -360,36 +391,59 @@ func main() {
 		cpuF = f
 	}
 
-	fn, steps := benchSimRun(sim.RoundRobin, false, false)
-	add("sim-run/roundrobin", testing.Benchmark(fn), steps)
-	fn, steps = benchSimRun(sim.RoundRobin, true, false)
-	add("sim-run/roundrobin-serial", testing.Benchmark(fn), steps)
-	fn, steps = benchSimRun(sim.Duplicate, false, false)
-	add("sim-run/duplicate", testing.Benchmark(fn), steps)
-	fn, steps = benchSimRun(sim.Duplicate, false, true)
-	add("sim-run/duplicate-tier0", testing.Benchmark(fn), steps)
-	add("vm/agent-frame-tier1", testing.Benchmark(benchAgentFrame(1)), 0)
-	add("vm/agent-frame-tier0", testing.Benchmark(benchAgentFrame(0)), 0)
-	var cpSteps int
-	cpFn := benchRunFromCheckpoint(&cpSteps)
-	add("sim-run-from-checkpoint", testing.Benchmark(cpFn), cpSteps)
-	var campSteps int
-	campFn := benchCampaignTransient(campaign.Options{CheckpointEvery: -1}, &campSteps)
-	r := testing.Benchmark(campFn)
-	add("campaign/transient-cold", r, campSteps)
-	// Fork-only (splice disabled) isolates the checkpoint/fork win;
-	// the default options add reconvergence splicing on top. All three
-	// configurations produce byte-identical campaigns.
-	campFn = benchCampaignTransient(campaign.Options{DisableSplice: true}, &campSteps)
-	r = testing.Benchmark(campFn)
-	add("campaign/transient-fork", r, campSteps)
-	campFn = benchCampaignTransient(campaign.Options{}, &campSteps)
-	r = testing.Benchmark(campFn)
-	add("campaign/transient-splice", r, campSteps)
-	add("render/center-camera", testing.Benchmark(benchRender), 0)
-	add("geom/project-full", testing.Benchmark(benchProject), 0)
-	add("geom/project-near", testing.Benchmark(benchProjectNear), 0)
-	if *study {
+	// The suite as named cases, so -run can select a subset. Each case
+	// builds its fixtures only when it actually runs. The campaign
+	// ladder isolates each optimization layer: cold (no sharing) →
+	// fork (checkpoint restore, solo) → splice (solo, + reconvergence)
+	// → batch (default: lockstep lane groups on top of both). All four
+	// produce byte-identical campaigns.
+	simCase := func(mode sim.Mode, serial, tier0 bool) func() (testing.BenchmarkResult, int) {
+		return func() (testing.BenchmarkResult, int) {
+			fn, steps := benchSimRun(mode, serial, tier0)
+			return testing.Benchmark(fn), steps
+		}
+	}
+	campCase := func(opts campaign.Options) func() (testing.BenchmarkResult, int) {
+		return func() (testing.BenchmarkResult, int) {
+			var steps int
+			r := testing.Benchmark(benchCampaignTransient(opts, &steps))
+			return r, steps
+		}
+	}
+	noSteps := func(fn func(b *testing.B)) func() (testing.BenchmarkResult, int) {
+		return func() (testing.BenchmarkResult, int) { return testing.Benchmark(fn), 0 }
+	}
+	cases := []struct {
+		name string
+		run  func() (testing.BenchmarkResult, int)
+	}{
+		{"sim-run/roundrobin", simCase(sim.RoundRobin, false, false)},
+		{"sim-run/roundrobin-serial", simCase(sim.RoundRobin, true, false)},
+		{"sim-run/duplicate", simCase(sim.Duplicate, false, false)},
+		{"sim-run/duplicate-tier0", simCase(sim.Duplicate, false, true)},
+		{"vm/agent-frame-tier1", noSteps(benchAgentFrame(1))},
+		{"vm/agent-frame-tier0", noSteps(benchAgentFrame(0))},
+		{"sim-run-from-checkpoint", func() (testing.BenchmarkResult, int) {
+			var steps int
+			r := testing.Benchmark(benchRunFromCheckpoint(&steps))
+			return r, steps
+		}},
+		{"campaign/transient-cold", campCase(campaign.Options{CheckpointEvery: -1})},
+		{"campaign/transient-fork", campCase(campaign.Options{DisableSplice: true, LaneWidth: -1})},
+		{"campaign/transient-splice", campCase(campaign.Options{LaneWidth: -1})},
+		{"campaign/transient-batch", campCase(campaign.Options{})},
+		{"render/center-camera", noSteps(benchRender)},
+		{"geom/project-full", noSteps(benchProject)},
+		{"geom/project-near", noSteps(benchProjectNear)},
+	}
+	for _, c := range cases {
+		if match != nil && !match.MatchString(c.name) {
+			continue
+		}
+		r, steps := c.run()
+		add(c.name, r, steps)
+	}
+	if *study && (match == nil || match.MatchString("study/bench-cold")) {
 		cold, warm, studySteps, st := benchStudy(sess)
 		addEntry(Entry{
 			Name:        "study/bench-cold",
@@ -426,7 +480,7 @@ func main() {
 		fmt.Println("wrote heap profile", *memprofile)
 	}
 
-	diffReports(prev, prevPath, rep)
+	diffReports(prev, prevPath, rep, match != nil)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -446,15 +500,25 @@ func main() {
 }
 
 // loadPreviousReport finds the newest BENCH_*.json in the working
-// directory (by the date in its name) and parses it, so a fresh run
-// prints a regression/improvement diff before overwriting. Returns nil
-// when no previous report exists or it cannot be parsed.
+// directory (by the date in its name, then the same-day rerun suffix)
+// and parses it, so a fresh run prints a regression/improvement diff.
+// Returns nil when no previous report exists or it cannot be parsed.
 func loadPreviousReport() (*Report, string) {
 	matches, _ := filepath.Glob("BENCH_*.json")
 	if len(matches) == 0 {
 		return nil, ""
 	}
-	sort.Strings(matches) // names embed the ISO date, so this is newest-last
+	// Plain sort.Strings would order BENCH_d.2.json before BENCH_d.json
+	// ('.' < 'j'), inverting same-day rerun order; compare the parsed
+	// (date, rerun) key instead.
+	sort.Slice(matches, func(i, j int) bool {
+		di, ni := benchFileKey(matches[i])
+		dj, nj := benchFileKey(matches[j])
+		if di != dj {
+			return di < dj
+		}
+		return ni < nj
+	})
 	path := matches[len(matches)-1]
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -467,14 +531,28 @@ func loadPreviousReport() (*Report, string) {
 	return &rep, path
 }
 
+// benchFileKey parses BENCH_<date>[.N].json into its ordering key: the
+// date string and the same-day rerun number (1 for the unsuffixed file).
+func benchFileKey(path string) (string, int) {
+	base := strings.TrimSuffix(filepath.Base(path), ".json")
+	base = strings.TrimPrefix(base, "BENCH_")
+	if i := strings.IndexByte(base, '.'); i >= 0 {
+		if n, err := strconv.Atoi(base[i+1:]); err == nil {
+			return base[:i], n
+		}
+	}
+	return base, 1
+}
+
 // diffReports prints the change versus the previous report, entry by
 // entry: steps/s for full-simulation entries (higher is better), ns/op
 // for the rest (lower is better). One-sided entries are tolerated in
 // both directions — a benchmark added since the previous report prints
 // as new, one dropped from the suite prints as removed — and an entry
 // whose metric kind changed (steps/s present on only one side) falls
-// back to the ns/op comparison both sides always carry.
-func diffReports(prev *Report, prevPath string, cur Report) {
+// back to the ns/op comparison both sides always carry. partial marks a
+// -run-filtered suite: entries the filter skipped are not "removed".
+func diffReports(prev *Report, prevPath string, cur Report, partial bool) {
 	if prev == nil {
 		return
 	}
@@ -504,6 +582,9 @@ func diffReports(prev *Report, prevPath string, cur Report) {
 	// Entries only the previous report had: report them instead of
 	// silently dropping them, so a renamed or retired benchmark is
 	// visible in the diff.
+	if partial {
+		return
+	}
 	removed := make([]string, 0, len(old))
 	for name := range old {
 		removed = append(removed, name)

@@ -30,6 +30,7 @@ func main() {
 		telemetry = flag.String("telemetry", "", "write a JSONL run ledger (job spans + end-of-run metrics) to this file")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 		noSplice  = flag.Bool("no-splice", false, "disable reconvergence splicing (A/B switch; reports are byte-identical, only slower)")
+		laneWidth = flag.Int("lane-width", 0, "transient lane-group width: 0 = default, negative = solo runs (A/B switch; reports are byte-identical)")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 	o.Seed = *seed
 	o.Log = os.Stderr
 	o.NoSplice = *noSplice
+	o.LaneWidth = *laneWidth
 
 	l := lab.New()
 	if *cache != "" {

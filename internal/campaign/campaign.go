@@ -69,6 +69,11 @@ type Options struct {
 	// recorded traces (it is part of the campaign's identity); see
 	// lab.CampaignSpec.EarlyExit.
 	EarlyExit float64
+	// LaneWidth tunes batched lockstep execution of transient fork
+	// campaigns (results are identical, only slower or faster): 0 selects
+	// lab.DefaultLaneWidth, a negative value runs every injection solo;
+	// see lab.CampaignSpec.LaneWidth.
+	LaneWidth int
 }
 
 // Golden runs n fault-free experiments of the scenario in the given
@@ -124,6 +129,7 @@ func RunWithOptions(sc *scenario.Scenario, mode sim.Mode, target vm.Device, mode
 		CheckpointEvery: opts.CheckpointEvery,
 		DisableSplice:   opts.DisableSplice,
 		EarlyExit:       opts.EarlyExit,
+		LaneWidth:       opts.LaneWidth,
 	}
 	if golden != nil {
 		l.ProvideGolden(lab.GoldenSpec{Scenario: sc.Name, Mode: mode, N: sizes.Golden, Seed: seedBase + 1000}, golden)

@@ -52,7 +52,11 @@ func TestForkedCampaignMatchesCold(t *testing.T) {
 					name string
 					camp *Campaign
 				}{
-					{"splice", RunWithOptions(sc, mode, target, fi.Transient, sizes, 33, nil, Options{})},
+					// The default options now schedule transient runs in
+					// lockstep lane groups, so the first variant pins
+					// batched execution against the cold reference.
+					{"batch", RunWithOptions(sc, mode, target, fi.Transient, sizes, 33, nil, Options{})},
+					{"solo-splice", RunWithOptions(sc, mode, target, fi.Transient, sizes, 33, nil, Options{LaneWidth: -1})},
 					{"no-splice", RunWithOptions(sc, mode, target, fi.Transient, sizes, 33, nil, Options{DisableSplice: true})},
 				}
 				cold := RunWithOptions(sc, mode, target, fi.Transient, sizes, 33, nil, Options{CheckpointEvery: -1})

@@ -2,6 +2,7 @@ package lab
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"diverseav/internal/fi"
@@ -172,7 +173,20 @@ func runCampaign(l *Lab, s CampaignSpec) *Campaign {
 	if ledger != nil {
 		specKey = s.Key()
 	}
-	par.ForEach(len(plans), func(i int) {
+	// emitRunSpan is the per-injection-run ledger audit trail for
+	// divergence-aware execution: the exact step range the loop really
+	// simulated, and why it stopped short if it did.
+	emitRunSpan := func(i int, res *sim.Result, execNs int64) {
+		ledger.EmitSpan(obs.Span{
+			Key:            fmt.Sprintf("%s/run-%03d", specKey, i),
+			Phase:          "run",
+			Cache:          obs.CacheComputed,
+			ExecNs:         execNs,
+			SimulatedSteps: []int{res.Exec.SimulatedFrom, res.Exec.SimulatedTo},
+			ExitReason:     res.Exec.ExitReason,
+		})
+	}
+	runSolo := func(i int) {
 		plan := plans[i]
 		cfg := sim.Config{
 			Scenario:   sc,
@@ -208,19 +222,21 @@ func runCampaign(l *Lab, s CampaignSpec) *Campaign {
 		}
 		c.Runs[i] = RunRecord{Plan: plan, Result: res}
 		if ledger != nil {
-			// One span per injection run: the exact step range the loop
-			// really simulated, and why it stopped short if it did. This is
-			// the ledger-level audit trail for divergence-aware execution.
-			ledger.EmitSpan(obs.Span{
-				Key:            fmt.Sprintf("%s/run-%03d", specKey, i),
-				Phase:          "run",
-				Cache:          obs.CacheComputed,
-				ExecNs:         time.Since(began).Nanoseconds(),
-				SimulatedSteps: []int{res.Exec.SimulatedFrom, res.Exec.SimulatedTo},
-				ExitReason:     res.Exec.ExitReason,
-			})
+			emitRunSpan(i, res, time.Since(began).Nanoseconds())
 		}
-	})
+	}
+	laneW := s.LaneWidth
+	if laneW == 0 {
+		laneW = DefaultLaneWidth
+	}
+	if laneW > vm.MaxLanes {
+		laneW = vm.MaxLanes
+	}
+	if s.Model == fi.Transient && every > 0 && laneW > 1 {
+		runLaneGroups(c, s, sc, plans, faultAgents, prof, stream, seedBase, laneW, runSolo, emitRunSpan, ledger != nil)
+	} else {
+		par.ForEach(len(plans), runSolo)
+	}
 	// Past the fork barrier every injection run has restored from its
 	// checkpoint; recycle the snapshot buffers for the next campaign's
 	// profiling pass.
@@ -228,6 +244,86 @@ func runCampaign(l *Lab, s CampaignSpec) *Campaign {
 
 	c.Baseline = baselineOf(golden)
 	return c
+}
+
+// DefaultLaneWidth is the lane-group size of batched transient campaign
+// execution: up to this many injection runs share one fault-free prefix
+// replay and step their suffixes in sim-level lockstep. Bounded by
+// vm.MaxLanes; chosen so a group's agent machines stay comfortably in
+// cache while the decode amortization is already near its asymptote.
+const DefaultLaneWidth = 16
+
+// runLaneGroups is the batched transient scheduler: plans are mapped to
+// their planner-derived detach steps (-1 for a plan whose dynamic index
+// the profiled stream never reaches), sorted so runs detaching together
+// land in the same group, chunked into lane-width groups, and each group
+// executed through sim.RunLanesFrom. A group that fails validation falls
+// back to the solo fork path run by run — the results are identical
+// either way (the lane-equivalence invariant), so the fallback is pure
+// strategy too.
+func runLaneGroups(c *Campaign, s CampaignSpec, sc *scenario.Scenario, plans []fi.Plan, faultAgents []int,
+	prof *fi.Profile, stream *sim.GoldenStream, seedBase uint64, laneW int,
+	runSolo func(int), emitRunSpan func(int, *sim.Result, int64), ledger bool) {
+
+	nAgents := s.Mode.Agents()
+	detach := make([]int, len(plans))
+	order := make([]int, len(plans))
+	for i, plan := range plans {
+		step, ok := prof.ActivationStep(faultAgents[i]%nAgents, plan.Target, plan.DynIndex)
+		if !ok {
+			step = -1
+		}
+		detach[i] = step
+		order[i] = i
+	}
+	// Sort by detach step (never-activating clones first — they cost one
+	// trace copy each): equal steps become cohorts inside a group, and
+	// near ones share most of the pack replay.
+	sort.SliceStable(order, func(a, b int) bool { return detach[order[a]] < detach[order[b]] })
+	nGroups := (len(order) + laneW - 1) / laneW
+	par.ForEach(nGroups, func(g int) {
+		lo := g * laneW
+		hi := lo + laneW
+		if hi > len(order) {
+			hi = len(order)
+		}
+		idxs := order[lo:hi]
+		cfgs := make([]sim.Config, len(idxs))
+		det := make([]int, len(idxs))
+		for k, i := range idxs {
+			plan := plans[i]
+			cfgs[k] = sim.Config{
+				Scenario:            sc,
+				Mode:                s.Mode,
+				Seed:                seedBase,
+				Fault:               &plan,
+				FaultAgent:          faultAgents[i],
+				Golden:              stream,
+				DisableSplice:       s.DisableSplice,
+				EarlyExitDivergence: s.EarlyExit,
+			}
+			det[k] = detach[i]
+		}
+		began := time.Now()
+		results, err := sim.RunLanesFrom(nil, cfgs, det)
+		if err != nil {
+			for _, i := range idxs {
+				runSolo(i)
+			}
+			return
+		}
+		obs.C("campaign.runs_batched").Add(uint64(len(idxs)))
+		// Per-run wall clock is not individually observable inside a lane
+		// group; the span records the group mean, keeping campaign-level
+		// ExecNs sums honest.
+		perRunNs := time.Since(began).Nanoseconds() / int64(len(idxs))
+		for k, i := range idxs {
+			c.Runs[i] = RunRecord{Plan: plans[i], Result: results[k]}
+			if ledger {
+				emitRunSpan(i, results[k], perRunNs)
+			}
+		}
+	})
 }
 
 // baselineOf is the mean golden trajectory, the reference for

@@ -97,8 +97,12 @@ func TestRequireEmitsSpans(t *testing.T) {
 	if snap["lab.computed"] < 2 {
 		t.Errorf("lab.computed = %d, want >= 2", snap["lab.computed"])
 	}
-	if forked, cold := snap["campaign.runs_forked"], snap["campaign.runs_cold"]; forked+cold < int64(shortSizes().Transient) {
-		t.Errorf("fork/cold counters %d+%d cover fewer than %d campaign runs", forked, cold, shortSizes().Transient)
+	batched, forked, cold := snap["campaign.runs_batched"], snap["campaign.runs_forked"], snap["campaign.runs_cold"]
+	if batched+forked+cold < int64(shortSizes().Transient) {
+		t.Errorf("batch/fork/cold counters %d+%d+%d cover fewer than %d campaign runs", batched, forked, cold, shortSizes().Transient)
+	}
+	if batched == 0 {
+		t.Error("campaign.runs_batched = 0: the default transient path did not execute in lane groups")
 	}
 
 	// A repeat Require is fully memoized: no new spans (nothing

@@ -105,7 +105,8 @@ func ServeDebug(addr string) (string, error) {
 
 // WriteSummary prints the human-readable flight-recorder digest: the
 // headline rates the campaigns care about (tier-1 kernel hit rate,
-// fork-vs-cold split, checkpoint pool reuse, lab store hits) followed
+// batch/fork/cold split, lane occupancy, splice and early-exit counts,
+// checkpoint pool reuse, lab store hits) followed
 // by every metric in the snapshot, sorted.
 func WriteSummary(w io.Writer, snap map[string]int64, wall time.Duration) {
 	fmt.Fprintf(w, "--- flight recorder (%.1fs wall) ---\n", wall.Seconds())
@@ -116,15 +117,25 @@ func WriteSummary(w io.Writer, snap map[string]int64, wall time.Duration) {
 		}
 		fmt.Fprintf(w, "; %d collisions, %d DUEs\n", snap["sim.collisions"], snap["sim.dues"])
 	}
-	fused, scalar, hooked := snap["vm.instr_fused"], snap["vm.instr_scalar"], snap["vm.instr_hooked"]
-	if total := fused + scalar + hooked; total > 0 {
-		fmt.Fprintf(w, "vm: %d instructions — %.1f%% tier-1 fused, %.1f%% tier-0 scalar, %.1f%% hooked\n",
-			total, 100*float64(fused)/float64(total), 100*float64(scalar)/float64(total),
-			100*float64(hooked)/float64(total))
+	fused, scalar, hooked, batched := snap["vm.instr_fused"], snap["vm.instr_scalar"], snap["vm.instr_hooked"], snap["vm.instr_batched"]
+	if total := fused + scalar + hooked + batched; total > 0 {
+		fmt.Fprintf(w, "vm: %d instructions — %.1f%% tier-1 fused, %.1f%% batched lockstep, %.1f%% tier-0 scalar, %.1f%% hooked\n",
+			total, 100*float64(fused)/float64(total), 100*float64(batched)/float64(total),
+			100*float64(scalar)/float64(total), 100*float64(hooked)/float64(total))
 	}
-	forked, cold := snap["campaign.runs_forked"], snap["campaign.runs_cold"]
-	if forked+cold > 0 {
-		fmt.Fprintf(w, "campaign: %d forked runs, %d cold runs\n", forked, cold)
+	batchedRuns, forked, cold := snap["campaign.runs_batched"], snap["campaign.runs_forked"], snap["campaign.runs_cold"]
+	if batchedRuns+forked+cold > 0 {
+		fmt.Fprintf(w, "campaign: %d batched runs, %d forked runs, %d cold runs\n", batchedRuns, forked, cold)
+	}
+	if groups := snap["sim.lane_groups"]; groups > 0 {
+		lanes, clones := snap["sim.lane_runs"], snap["sim.lane_clones"]
+		fmt.Fprintf(w, "lanes: %d groups, %d lanes (%.1f avg), %d golden clones",
+			groups, lanes, float64(lanes)/float64(groups), clones)
+		if cohorts := snap["sim.lane_cohorts"]; cohorts > 0 {
+			fmt.Fprintf(w, "; cohort occupancy %.1f", float64(snap["sim.lane_cohort_lanes"])/float64(cohorts))
+		}
+		fmt.Fprintf(w, "; pack replay %d steps (%d checkpoint jumps), %d hook releases\n",
+			snap["sim.pack_steps"], snap["sim.pack_restores"], snap["sim.lane_hook_releases"])
 	}
 	if spliced := snap["sim.runs_spliced"]; spliced > 0 || snap["sim.runs_early_exit"] > 0 {
 		fmt.Fprintf(w, "divergence: %d runs spliced (%d golden steps grafted), %d early exits",

@@ -45,6 +45,11 @@ type Options struct {
 	// invariant); this is the A/B switch the CI smoke test uses to prove
 	// it end to end.
 	NoSplice bool
+	// LaneWidth tunes batched lockstep execution of the study's transient
+	// campaigns: 0 selects the default lane width, negative runs every
+	// injection solo. Reports are byte-identical either way (the
+	// lane-equivalence invariant); the CI batch smoke test A/Bs it.
+	LaneWidth int
 }
 
 // DefaultOptions is the scale used by cmd/experiments.
@@ -113,7 +118,7 @@ func buildSpecs(o Options) studySpecs {
 				sp.rr = append(sp.rr, lab.CampaignSpec{
 					Scenario: sc.Name, Mode: sim.RoundRobin, Target: target, Model: model,
 					Sizes: o.Sizes, Seed: base + uint64(target)*31 + uint64(model)*57, Golden: goldenRR,
-					DisableSplice: o.NoSplice,
+					DisableSplice: o.NoSplice, LaneWidth: o.LaneWidth,
 				})
 			}
 		}
@@ -125,12 +130,12 @@ func buildSpecs(o Options) studySpecs {
 			sp.fd = append(sp.fd, lab.CampaignSpec{
 				Scenario: sc.Name, Mode: sim.Duplicate, Target: vm.GPU, Model: model,
 				Sizes: o.Sizes, Seed: base + 4000 + uint64(model), Golden: goldenFD,
-				DisableSplice: o.NoSplice,
+				DisableSplice: o.NoSplice, LaneWidth: o.LaneWidth,
 			})
 			sp.single = append(sp.single, lab.CampaignSpec{
 				Scenario: sc.Name, Mode: sim.Single, Target: vm.GPU, Model: model,
 				Sizes: o.Sizes, Seed: base + 5000 + uint64(model), Golden: goldenSG,
-				DisableSplice: o.NoSplice,
+				DisableSplice: o.NoSplice, LaneWidth: o.LaneWidth,
 			})
 		}
 	}

@@ -129,6 +129,14 @@ type Config struct {
 	// Unlike splicing this changes the recorded trace, so campaign specs
 	// must key on it.
 	EarlyExitDivergence float64
+	// laneHookRelease opts the runner into uninstalling its fault hooks at
+	// a step boundary once every injector is provably quiescent (see
+	// maybeReleaseHooks). Bit-exact by construction — a quiescent hook
+	// returns zero masks forever, and the zero-mask hooked loop is
+	// differentially pinned against the hook-free one — but only the
+	// batched-lane path (RunLanesFrom) opts in; solo Run keeps hooks
+	// installed whole-run as the reference semantics.
+	laneHookRelease bool
 }
 
 // MemFault is a single uncorrected memory bit flip (ECC-off model).
@@ -173,6 +181,11 @@ type runner struct {
 	earlyExit bool
 	tr        *trace.Trace
 	steps     int
+	// start is the first step this runner simulates (0 for a cold run,
+	// the fork/detach step otherwise); set by run and by the cohort loop.
+	start int
+	// hooksReleased latches the one-shot quiescent-hook uninstall.
+	hooksReleased bool
 
 	// Loop-carried state (checkpointed).
 	applied   physics.Controls
@@ -192,6 +205,12 @@ type runner struct {
 	scene       *sensor.Scene
 	vehicles    []*physics.Vehicle
 	checkpoints []*Checkpoint
+	renderCam   func(i int)
+	// Per-step scratch handed from stepWorld to stepAgents/stepFinish,
+	// fully rewritten each step.
+	stepReading sensor.IMUGPS
+	stepLimit   float64
+	stepCmds    [2]trace.Cmd
 }
 
 // Run executes one experiment synchronously and returns its result.
@@ -270,19 +289,20 @@ func newRunner(cfg Config) *runner {
 	}
 	r.egoSt, _ = r.env.Route.Path.Project(r.env.Ego.State.Pose.Pos)
 	r.vehicles = make([]*physics.Vehicle, 0, len(r.env.NPCs))
+	r.renderCam = func(i int) {
+		sensor.Render(renderOrder[i], r.scene, r.frames[i])
+	}
 	return r
 }
 
 // run executes the closed loop from step `start` (0 for a cold run, the
-// checkpoint's step for a fork) to the end of the scenario.
+// checkpoint's step for a fork) to the end of the scenario. The loop
+// body lives in stepWorld / stepAgents / stepFinish so the batched-lane
+// cohort loop (batch.go) can interleave the same phases across several
+// runners; stepOnce composes them for the solo path.
 func (r *runner) run(start int) *Result {
-	cfg, env, tr := r.cfg, r.env, r.tr
-	nAgents := len(r.agents)
-	dt := 1.0 / Hz
-	renderCam := func(i int) {
-		sensor.Render(renderOrder[i], r.scene, r.frames[i])
-	}
-
+	cfg := r.cfg
+	r.start = start
 	for step := start; step < r.steps; step++ {
 		if cfg.CheckpointEvery > 0 && step > start && step%cfg.CheckpointEvery == 0 {
 			r.checkpoints = append(r.checkpoints, r.snapshot(step))
@@ -296,135 +316,215 @@ func (r *runner) run(start int) *Result {
 				return res
 			}
 		}
-		t := float64(step) * dt
-
-		// NPC intent and physics.
-		for _, n := range env.NPCs {
-			if n.Script != nil {
-				n.Script(t, n, env)
-			}
-			n.Follower.Step(dt)
-		}
-
-		// Sensing.
-		st0, _ := env.Route.Path.ProjectNear(env.Ego.State.Pose.Pos, r.egoSt, egoProjectWindow)
-		r.egoSt = st0
-		updateScene(r.scene, env, st0, t, step)
-		if cfg.SerialRender {
-			renderCam(0)
-			renderCam(1)
-			renderCam(2)
-		} else {
-			par.ForEach(3, renderCam)
-		}
-		reading := r.imu.Read(env.Ego.State)
-		limit := env.Route.LimitAt(st0)
-		if cfg.StepHook != nil {
-			cfg.StepHook(step, env, &r.frames)
-		}
-
-		// ECC-off memory fault (§VIII extension).
-		if mf := cfg.MemFault; mf != nil && step == mf.Step {
-			mem := r.agents[mf.Agent%nAgents].Machine().Mem()
-			addr := mf.Addr
-			if addr < 0 {
-				addr = 0
-			}
-			if addr >= len(mem) {
-				addr = len(mem) - 1
-			}
-			mem[addr] = math.Float64frombits(math.Float64bits(mem[addr]) ^ (1 << (mf.Bit & 63)))
-		}
-
-		// Distribution, agent execution, fusion.
-		var cmds [2]trace.Cmd
-		for id, ag := range r.agents {
-			if !receives(cfg.Mode, cfg.Overlap, id, step) {
-				continue
-			}
-			in := agent.Input{
-				Center: r.frames[0], Left: r.frames[1], Right: r.frames[2],
-				Speed:      float64(reading.Speed),
-				Dt:         float64(step-r.lastFrame[id]) / Hz,
-				SpeedLimit: limit,
-				FrameIndex: step,
-			}
-			r.lastFrame[id] = step
-			if cfg.Mode == Duplicate {
-				// The FD baseline's agents sample their sensors
-				// independently; this per-agent measurement jitter stands
-				// in for the inherent software/hardware non-determinism
-				// the paper observes between loosely-coupled replicas.
-				in.Speed += r.jitter.NormScaled(0, 0.03)
-			}
-			out, err := ag.Step(&in)
-			if err != nil {
-				finishDUE(tr, env, step, err)
-				return r.finish(start)
-			}
-			cmds[id] = trace.Cmd{
-				Valid:        true,
-				Throttle:     out.Controls.Throttle,
-				Brake:        out.Controls.Brake,
-				Steer:        out.Controls.Steer,
-				ObstacleDist: out.ObstacleDist,
-			}
-			if fusionDrives(cfg.Mode, id, step) {
-				r.applied = out.Controls
-				r.appliedBy = id
-			}
-		}
-
-		// Profiling: record each agent's end-of-step cumulative
-		// instruction counts, the DynIndex→step map used to pick fork
-		// points for transient plans.
-		if cfg.Profile != nil {
-			for i, ag := range r.agents {
-				cfg.Profile.RecordStep(i, ag.Machine().InstrCount(vm.CPU), ag.Machine().InstrCount(vm.GPU))
-			}
-		}
-
-		// Actuation and kinematics.
-		env.Ego.Step(r.applied, dt)
-
-		// Record.
-		r.vehicles = npcVehicles(env, r.vehicles)
-		cvip, ok := physics.CVIP(env.Ego, r.vehicles, 2.2, 80)
-		if !ok {
-			cvip = -1
-		}
-		s := env.Ego.State
-		tr.Steps = append(tr.Steps, trace.Step{
-			T: t,
-			X: s.Pose.Pos.X, Y: s.Pose.Pos.Y, Z: 0,
-			V: s.V, A: s.A, Omega: s.Omega, AlphaDot: s.AlphaDot,
-			Throttle: r.applied.Throttle, Brake: r.applied.Brake, Steer: r.applied.Steer,
-			AgentID: r.appliedBy,
-			Cmd:     cmds,
-			CVIP:    cvip,
-		})
-		tr.EndStep = step
-
-		// Safety check.
-		for _, n := range env.NPCs {
-			if physics.Collides(env.Ego, n.Follower.Vehicle) {
-				tr.Outcome = trace.OutcomeCollision
-				tr.CollisionStep = step
-				return r.finish(start)
-			}
-		}
-
-		// Early exit: the trajectory has departed from the golden run far
-		// enough that the hazard verdict is already decided — the rest of
-		// the run cannot change it.
-		if r.golden != nil && cfg.EarlyExitDivergence > 0 &&
-			r.divergedBeyond(step, s.Pose.Pos.X, s.Pose.Pos.Y) {
-			r.earlyExit = true
-			return r.finish(start)
+		if res := r.stepOnce(step); res != nil {
+			return res
 		}
 	}
 
 	return r.finish(start)
+}
+
+// stepOnce runs one full closed-loop step; a non-nil result means the
+// run ended at this step (DUE, collision, or early exit).
+func (r *runner) stepOnce(step int) *Result {
+	r.stepWorld(step)
+	if res := r.stepAgents(step); res != nil {
+		return res
+	}
+	if res := r.stepFinish(step); res != nil {
+		return res
+	}
+	r.maybeReleaseHooks()
+	return nil
+}
+
+// stepWorld advances NPC intent and physics, renders this step's sensor
+// data into the frame buffers (IMU reading and speed limit land in the
+// per-step scratch for stepAgents), then applies the step hook and any
+// scheduled ECC-off memory fault (§VIII extension).
+func (r *runner) stepWorld(step int) {
+	cfg, env := r.cfg, r.env
+	dt := 1.0 / Hz
+	t := float64(step) * dt
+
+	for _, n := range env.NPCs {
+		if n.Script != nil {
+			n.Script(t, n, env)
+		}
+		n.Follower.Step(dt)
+	}
+
+	st0, _ := env.Route.Path.ProjectNear(env.Ego.State.Pose.Pos, r.egoSt, egoProjectWindow)
+	r.egoSt = st0
+	updateScene(r.scene, env, st0, t, step)
+	if cfg.SerialRender {
+		r.renderCam(0)
+		r.renderCam(1)
+		r.renderCam(2)
+	} else {
+		par.ForEach(3, r.renderCam)
+	}
+	r.stepReading = r.imu.Read(env.Ego.State)
+	r.stepLimit = env.Route.LimitAt(st0)
+	if cfg.StepHook != nil {
+		cfg.StepHook(step, env, &r.frames)
+	}
+
+	if mf := cfg.MemFault; mf != nil && step == mf.Step {
+		mem := r.agents[mf.Agent%len(r.agents)].Machine().Mem()
+		addr := mf.Addr
+		if addr < 0 {
+			addr = 0
+		}
+		if addr >= len(mem) {
+			addr = len(mem) - 1
+		}
+		mem[addr] = math.Float64frombits(math.Float64bits(mem[addr]) ^ (1 << (mf.Bit & 63)))
+	}
+}
+
+// stepAgents distributes the frame, executes each receiving agent, and
+// fuses controls; a non-nil result is a finished DUE run.
+func (r *runner) stepAgents(step int) *Result {
+	r.stepCmds = [2]trace.Cmd{}
+	for id, ag := range r.agents {
+		if !receives(r.cfg.Mode, r.cfg.Overlap, id, step) {
+			continue
+		}
+		in := r.agentInput(id, step)
+		out, err := ag.Step(&in)
+		if err != nil {
+			finishDUE(r.tr, r.env, step, err)
+			return r.finish(r.start)
+		}
+		r.applyAgentOut(id, step, out)
+	}
+	return nil
+}
+
+// agentInput builds agent id's input for this step and advances the
+// distribution latches (lastFrame, and the duplicate-mode measurement
+// jitter draw) — call exactly once per delivered frame, in agent order,
+// so the per-run jitter stream stays aligned with the solo loop when the
+// cohort loop batches agent execution across lanes.
+func (r *runner) agentInput(id, step int) agent.Input {
+	in := agent.Input{
+		Center: r.frames[0], Left: r.frames[1], Right: r.frames[2],
+		Speed:      float64(r.stepReading.Speed),
+		Dt:         float64(step-r.lastFrame[id]) / Hz,
+		SpeedLimit: r.stepLimit,
+		FrameIndex: step,
+	}
+	r.lastFrame[id] = step
+	if r.cfg.Mode == Duplicate {
+		// The FD baseline's agents sample their sensors independently;
+		// this per-agent measurement jitter stands in for the inherent
+		// software/hardware non-determinism the paper observes between
+		// loosely-coupled replicas.
+		in.Speed += r.jitter.NormScaled(0, 0.03)
+	}
+	return in
+}
+
+// applyAgentOut latches agent id's actuation into the step command
+// record and, when fusion selects it, into the applied controls.
+func (r *runner) applyAgentOut(id, step int, out agent.Output) {
+	r.stepCmds[id] = trace.Cmd{
+		Valid:        true,
+		Throttle:     out.Controls.Throttle,
+		Brake:        out.Controls.Brake,
+		Steer:        out.Controls.Steer,
+		ObstacleDist: out.ObstacleDist,
+	}
+	if fusionDrives(r.cfg.Mode, id, step) {
+		r.applied = out.Controls
+		r.appliedBy = id
+	}
+}
+
+// stepFinish profiles, actuates, records the trace step, and evaluates
+// the collision and early-exit verdicts; a non-nil result finishes the
+// run.
+func (r *runner) stepFinish(step int) *Result {
+	cfg, env, tr := r.cfg, r.env, r.tr
+	dt := 1.0 / Hz
+	t := float64(step) * dt
+
+	// Profiling: record each agent's end-of-step cumulative instruction
+	// counts, the DynIndex→step map used to pick fork points for
+	// transient plans.
+	if cfg.Profile != nil {
+		for i, ag := range r.agents {
+			cfg.Profile.RecordStep(i, ag.Machine().InstrCount(vm.CPU), ag.Machine().InstrCount(vm.GPU))
+		}
+	}
+
+	// Actuation and kinematics.
+	env.Ego.Step(r.applied, dt)
+
+	// Record.
+	r.vehicles = npcVehicles(env, r.vehicles)
+	cvip, ok := physics.CVIP(env.Ego, r.vehicles, 2.2, 80)
+	if !ok {
+		cvip = -1
+	}
+	s := env.Ego.State
+	tr.Steps = append(tr.Steps, trace.Step{
+		T: t,
+		X: s.Pose.Pos.X, Y: s.Pose.Pos.Y, Z: 0,
+		V: s.V, A: s.A, Omega: s.Omega, AlphaDot: s.AlphaDot,
+		Throttle: r.applied.Throttle, Brake: r.applied.Brake, Steer: r.applied.Steer,
+		AgentID: r.appliedBy,
+		Cmd:     r.stepCmds,
+		CVIP:    cvip,
+	})
+	tr.EndStep = step
+
+	// Safety check.
+	for _, n := range env.NPCs {
+		if physics.Collides(env.Ego, n.Follower.Vehicle) {
+			tr.Outcome = trace.OutcomeCollision
+			tr.CollisionStep = step
+			return r.finish(r.start)
+		}
+	}
+
+	// Early exit: the trajectory has departed from the golden run far
+	// enough that the hazard verdict is already decided — the rest of
+	// the run cannot change it.
+	if r.golden != nil && cfg.EarlyExitDivergence > 0 &&
+		r.divergedBeyond(step, s.Pose.Pos.X, s.Pose.Pos.Y) {
+		r.earlyExit = true
+		return r.finish(r.start)
+	}
+	return nil
+}
+
+// maybeReleaseHooks is the batched-lane rejoin at the hook level: once
+// every injector on this runner is provably quiescent — a transient
+// fault that has fired, or whose dynamic index the machine counter has
+// passed, returns zero masks forever — the hooks come off, dropping
+// agent execution back onto the hook-free tier-1/lockstep path.
+// Bit-exactness is structural: a quiescent hook only ever returns mask
+// 0, and the zero-mask hooked loop is differentially pinned against the
+// hook-free loops. Gated on Config.laneHookRelease.
+func (r *runner) maybeReleaseHooks() {
+	if !r.cfg.laneHookRelease || r.hooksReleased || len(r.injectors) == 0 {
+		return
+	}
+	for k, inj := range r.injectors {
+		mach := r.agents[r.injAgents[k]].Machine()
+		if !inj.Quiescent(mach.InstrCount(inj.Plan().Target)) {
+			return
+		}
+	}
+	for _, i := range r.injAgents {
+		r.agents[i].Machine().SetFaultHook(nil)
+	}
+	r.hooksReleased = true
+	if in := instruments(); in != nil {
+		in.hookReleases.Inc()
+	}
 }
 
 // finish assembles the Result from the runner's final state and

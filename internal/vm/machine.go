@@ -112,9 +112,10 @@ type Machine struct {
 	// dev[_].count they are not part of the architectural state, so
 	// MachineState.Restore leaves them alone and forked runs keep
 	// accumulating.
-	fusedInstr  uint64 // executed inside tier-1 fused kernels
-	scalarInstr uint64 // executed by the hook-free scalar loop
-	hookedInstr uint64 // executed by the hooked (fault-injection) loop
+	fusedInstr   uint64 // executed inside tier-1 fused kernels
+	scalarInstr  uint64 // executed by the hook-free scalar loop
+	hookedInstr  uint64 // executed by the hooked (fault-injection) loop
+	batchedInstr uint64 // executed in lockstep by RunLanes (see batch.go)
 }
 
 // NewMachine allocates a machine with the given data-memory size in
@@ -161,12 +162,13 @@ func (m *Machine) ResetCounts() {
 
 // TierCounts returns how many dynamic instructions this machine has
 // executed on each path: inside tier-1 fused kernels, in the hook-free
-// tier-0 scalar loop, and in the hooked fault-injection loop. The sum
-// equals every instruction ever run (checkpoint restores do not reset
-// these), which is what the flight-recorder summary reports as the
-// tier-1 kernel hit rate.
-func (m *Machine) TierCounts() (fused, scalar, hooked uint64) {
-	return m.fusedInstr, m.scalarInstr, m.hookedInstr
+// tier-0 scalar loop, in the hooked fault-injection loop, and in the
+// multi-lane lockstep batch loop (RunLanes). The sum equals every
+// instruction ever run (checkpoint restores do not reset these), which
+// is what the flight-recorder summary reports as the tier-1 kernel hit
+// rate.
+func (m *Machine) TierCounts() (fused, scalar, hooked, batched uint64) {
+	return m.fusedInstr, m.scalarInstr, m.hookedInstr, m.batchedInstr
 }
 
 // Float returns float register i of the device (for tests).
@@ -186,19 +188,39 @@ func (m *Machine) Int(d Device, i int) int64 { return m.dev[d].r[i] }
 // loops execute identical semantics.
 func (m *Machine) Run(d Device, p *Program, stepBudget uint64) error {
 	if m.hook == nil {
-		return m.runDirect(d, p, stepBudget)
+		return m.runDirect(d, p, p.entry, 0, stepBudget)
 	}
+	return m.runHooked(d, p, p.entry, 0, stepBudget)
+}
+
+// resumeLane continues execution of p at an arbitrary pc with `start`
+// steps of this invocation's budget already spent — the scalar landing
+// path for a lane that detached from a RunLanes lockstep pack. The
+// hook-free variant still gets tier-1 kernels wherever the pc lands on
+// a kernel entry.
+func (m *Machine) resumeLane(d Device, p *Program, pc int, start, stepBudget uint64) error {
+	if m.hook == nil {
+		return m.runDirect(d, p, pc, start, stepBudget)
+	}
+	return m.runHooked(d, p, pc, start, stepBudget)
+}
+
+// runHooked is the per-writeback fault-injection loop: every commit is
+// offered to the hook before landing. pc is the starting program
+// counter (p.entry for Run, a resume point for detached batch lanes)
+// and start is how many of this invocation's budgeted steps were
+// already executed elsewhere (always 0 for Run).
+func (m *Machine) runHooked(d Device, p *Program, pc int, start, stepBudget uint64) error {
 	ds := &m.dev[d]
 	code := p.Code
-	pc := p.entry
-	var steps uint64
+	steps := start
 	for {
 		if pc < 0 || pc >= len(code) {
-			m.hookedInstr += steps
+			m.hookedInstr += steps - start
 			return &Trap{Kind: TrapInvalidPC, Device: d, Program: p.Name, PC: pc}
 		}
 		if steps >= stepBudget {
-			m.hookedInstr += steps
+			m.hookedInstr += steps - start
 			return &Trap{Kind: TrapStepBudget, Device: d, Program: p.Name, PC: pc}
 		}
 		steps++
@@ -277,14 +299,14 @@ func (m *Machine) Run(d Device, p *Program, stepBudget uint64) error {
 		case LD:
 			addr := ds.r[in.A] + in.IImm
 			if addr < 0 || addr >= int64(len(m.mem)) {
-				m.hookedInstr += steps
+				m.hookedInstr += steps - start
 				return &Trap{Kind: TrapOOB, Device: d, Program: p.Name, PC: pc - 1}
 			}
 			m.writeF(ds, d, in, m.mem[addr])
 		case ST:
 			addr := ds.r[in.A] + in.IImm
 			if addr < 0 || addr >= int64(len(m.mem)) {
-				m.hookedInstr += steps
+				m.hookedInstr += steps - start
 				return &Trap{Kind: TrapOOB, Device: d, Program: p.Name, PC: pc - 1}
 			}
 			v := ds.f[in.B]
@@ -305,10 +327,10 @@ func (m *Machine) Run(d Device, p *Program, stepBudget uint64) error {
 				pc = int(in.IImm)
 			}
 		case HALT:
-			m.hookedInstr += steps
+			m.hookedInstr += steps - start
 			return nil
 		default:
-			m.hookedInstr += steps
+			m.hookedInstr += steps - start
 			return &Trap{Kind: TrapBadInstr, Device: d, Program: p.Name, PC: pc - 1}
 		}
 	}
@@ -325,29 +347,29 @@ func (m *Machine) Run(d Device, p *Program, stepBudget uint64) error {
 // exact count the scalar loop would have; a kernel that cannot make
 // progress (trap ahead, budget too tight) returns 0 and the scalar
 // switch handles that pass. See fuse.go for the bit-exactness rules.
-func (m *Machine) runDirect(d Device, p *Program, stepBudget uint64) error {
+func (m *Machine) runDirect(d Device, p *Program, pc int, start, stepBudget uint64) error {
 	ds := &m.dev[d]
 	code := p.Code
 	mem := m.mem
-	pc := p.entry
 	var kmap []int32
 	var kernels []fusedKernel
 	if p.plan != nil && !m.tier0Only {
 		kmap = p.plan.pcMap
 		kernels = p.plan.kernels
 	}
-	var steps, fused uint64
+	steps := start
+	var fused uint64
 	for {
 		if pc < 0 || pc >= len(code) {
-			ds.count += steps
+			ds.count += steps - start
 			m.fusedInstr += fused
-			m.scalarInstr += steps - fused
+			m.scalarInstr += steps - start - fused
 			return &Trap{Kind: TrapInvalidPC, Device: d, Program: p.Name, PC: pc}
 		}
 		if steps >= stepBudget {
-			ds.count += steps
+			ds.count += steps - start
 			m.fusedInstr += fused
-			m.scalarInstr += steps - fused
+			m.scalarInstr += steps - start - fused
 			return &Trap{Kind: TrapStepBudget, Device: d, Program: p.Name, PC: pc}
 		}
 		if kmap != nil {
@@ -435,18 +457,18 @@ func (m *Machine) runDirect(d Device, p *Program, stepBudget uint64) error {
 		case LD:
 			addr := ds.r[in.A] + in.IImm
 			if addr < 0 || addr >= int64(len(mem)) {
-				ds.count += steps
+				ds.count += steps - start
 				m.fusedInstr += fused
-				m.scalarInstr += steps - fused
+				m.scalarInstr += steps - start - fused
 				return &Trap{Kind: TrapOOB, Device: d, Program: p.Name, PC: pc - 1}
 			}
 			ds.f[in.Dst] = mem[addr]
 		case ST:
 			addr := ds.r[in.A] + in.IImm
 			if addr < 0 || addr >= int64(len(mem)) {
-				ds.count += steps
+				ds.count += steps - start
 				m.fusedInstr += fused
-				m.scalarInstr += steps - fused
+				m.scalarInstr += steps - start - fused
 				return &Trap{Kind: TrapOOB, Device: d, Program: p.Name, PC: pc - 1}
 			}
 			mem[addr] = ds.f[in.B]
@@ -461,14 +483,14 @@ func (m *Machine) runDirect(d Device, p *Program, stepBudget uint64) error {
 				pc = int(in.IImm)
 			}
 		case HALT:
-			ds.count += steps
+			ds.count += steps - start
 			m.fusedInstr += fused
-			m.scalarInstr += steps - fused
+			m.scalarInstr += steps - start - fused
 			return nil
 		default:
-			ds.count += steps
+			ds.count += steps - start
 			m.fusedInstr += fused
-			m.scalarInstr += steps - fused
+			m.scalarInstr += steps - start - fused
 			return &Trap{Kind: TrapBadInstr, Device: d, Program: p.Name, PC: pc - 1}
 		}
 	}
