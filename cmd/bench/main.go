@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -32,6 +34,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -39,6 +42,7 @@ import (
 	"diverseav/internal/campaign"
 	"diverseav/internal/fi"
 	"diverseav/internal/geom"
+	"diverseav/internal/grid"
 	"diverseav/internal/lab"
 	"diverseav/internal/obs"
 	"diverseav/internal/report"
@@ -199,6 +203,72 @@ func benchStudy(sess *obs.Session) (cold, warm time.Duration, steps int, stats l
 	return cold, warm, steps, l.Stats()
 }
 
+// benchGridStudy measures the same bench-size study executed through
+// the distributed fabric: an in-process coordinator over a throwaway
+// disk store, two loopback workers, and a local lab that hands each
+// Require DAG to the fleet. Against study/bench-cold this entry is the
+// fabric's total overhead — artifact encode/decode, HTTP transfer, job
+// leasing — at the smallest realistic fleet size, tracked from day one
+// so a protocol regression shows up in the BENCH diff.
+func benchGridStudy(sess *obs.Session) (elapsed time.Duration, steps int, err error) {
+	dir, err := os.MkdirTemp("", "diverseav-bench-grid-")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := lab.NewDiskStore(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	coord := grid.NewCoordinator(store, grid.Config{})
+	if sess != nil {
+		coord.SetLedger(sess.Ledger)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	var workers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			// A short idle poll so dependency stalls cost microseconds,
+			// not scheduler quanta; a busy queue never sleeps anyway.
+			grid.Work(grid.WorkerConfig{Addr: ln.Addr().String(), Poll: 10 * time.Millisecond})
+		}()
+	}
+
+	o := report.BenchOptions()
+	l := lab.New()
+	l.SetStore(store)
+	l.SetRemote(coord)
+	if sess != nil {
+		l.SetLedger(sess.Ledger)
+	}
+	o.Lab = l
+	start := time.Now()
+	study := report.NewStudy(o)
+	elapsed = time.Since(start)
+	coord.Close()
+	coord.Drain(2 * time.Second)
+	srv.Close()
+	workers.Wait()
+	for _, camps := range [][]*campaign.Campaign{study.RR, study.FD, study.Single} {
+		for _, c := range camps {
+			for _, r := range c.Runs {
+				steps += len(r.Result.Trace.Steps)
+			}
+		}
+	}
+	return elapsed, steps, nil
+}
+
 // benchScene builds a representative render scene: curved route, two
 // obstacles, one stop bar, nominal sensor noise.
 func benchScene() *sensor.Scene {
@@ -292,7 +362,7 @@ func main() {
 	benchtime := flag.String("benchtime", "", "benchtime for the benchmarks, e.g. 3x (default: testing's 1s)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole suite to this file")
 	memprofile := flag.String("memprofile", "", "write a post-suite heap profile to this file")
-	study := flag.Bool("study", true, "include the bench-size study wall-clock entries (cold vs warm lab cache; adds minutes)")
+	study := flag.Bool("study", true, "include the bench-size study wall-clock entries (cold vs warm lab cache, plus the 2-worker grid run; adds minutes)")
 	telemetry := flag.String("telemetry", "", "write a JSONL run ledger to this file (note: enabling telemetry perturbs the measured hot paths)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address")
 	flag.Parse()
@@ -458,6 +528,19 @@ func main() {
 		})
 		fmt.Printf("%-28s computed=%d artifacts, warm pass: %d memory hits, 0 recomputes\n",
 			"  (study cache)", st.Computed, st.MemoryHits)
+	}
+	if *study && (match == nil || match.MatchString("grid/bench-2workers")) {
+		elapsed, gridSteps, err := benchGridStudy(sess)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench: grid study:", err)
+			os.Exit(1)
+		}
+		addEntry(Entry{
+			Name:        "grid/bench-2workers",
+			Iterations:  1,
+			NsPerOp:     float64(elapsed.Nanoseconds()),
+			StepsPerSec: float64(gridSteps) / elapsed.Seconds(),
+		})
 	}
 
 	if cpuF != nil {

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"diverseav/internal/obs"
+)
+
+// TestGridEndToEnd is the distributed acceptance gate: the bench table1
+// study run as 1 coordinator + 2 workers — one worker killed mid-run —
+// must produce a report byte-identical to the single-process run, and
+// the merged telemetry ledger must validate with worker spans in it.
+func TestGridEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy (bench table1 study twice, plus subprocess builds)")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "experiments")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building experiments: %v\n%s", err, out)
+	}
+
+	// Single-process reference report.
+	ref := filepath.Join(dir, "ref.txt")
+	cmd := exec.Command(bin, "-bench", "-e", "table1", "-o", ref)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("single-process run: %v\n%s", err, out)
+	}
+
+	// Distributed run: coordinator on a kernel-assigned port, telemetry on.
+	rep := filepath.Join(dir, "grid.txt")
+	ledger := filepath.Join(dir, "ledger.jsonl")
+	coord := exec.Command(bin, "-bench", "-e", "table1", "-o", rep,
+		"-serve", "127.0.0.1:0", "-lease", "5s", "-telemetry", ledger)
+	stderr, err := coord.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Stdout = nil
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+
+	// The coordinator announces its bound address on stderr; keep
+	// draining the pipe afterwards so it can never block on a full one.
+	addrCh := make(chan string, 1)
+	var coordLog bytes.Buffer
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			coordLog.WriteString(line + "\n")
+			if i := strings.Index(line, "grid coordinator on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("grid coordinator on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("coordinator never announced its address\n%s", coordLog.String())
+	}
+
+	worker := func() *exec.Cmd {
+		w := exec.Command(bin, "-worker", addr)
+		w.Stdout, w.Stderr = nil, nil
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	w1, w2 := worker(), worker()
+	defer w2.Process.Kill()
+
+	// Kill one worker mid-run: its leased jobs must be requeued to the
+	// survivor after the lease expires, with no effect on the report.
+	go func() {
+		time.Sleep(2 * time.Second)
+		w1.Process.Kill()
+	}()
+	defer w1.Process.Kill()
+
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator run: %v\n%s", err, coordLog.String())
+	}
+	w1.Wait() // killed; exit status is irrelevant
+	if err := w2.Wait(); err != nil {
+		t.Errorf("surviving worker exited with: %v", err)
+	}
+
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("distributed report differs from single-process report (%d vs %d bytes)\n%s",
+			len(got), len(want), firstDiffLine(string(got), string(want)))
+	}
+
+	// The merged ledger must validate and actually contain fleet spans.
+	f, err := os.Open(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := obs.ReadLedger(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Validate(recs); err != nil {
+		t.Fatalf("merged ledger does not validate: %v", err)
+	}
+	workerSpans := 0
+	for _, rec := range recs {
+		if rec.Span != nil && strings.HasPrefix(rec.Span.Node, "worker-") {
+			workerSpans++
+		}
+	}
+	if workerSpans == 0 {
+		t.Errorf("merged ledger has no worker spans (%d records)\n%s", len(recs), coordLog.String())
+	}
+}
+
+func firstDiffLine(got, want string) string {
+	gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			return fmt.Sprintf("first differing line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
+		}
+	}
+	return "one report is a prefix of the other"
+}

@@ -1,8 +1,9 @@
 // Command ledgercheck validates JSONL telemetry ledgers written by the
 // -telemetry flag of the other drivers and prints a per-file digest:
 // span counts by phase and cache status, total queue/exec time, the
-// divergence-aware run summary (simulated steps, splice and early-exit
-// counts from the per-run spans), and the metrics record. It exits
+// per-node span counts of a merged grid ledger, the divergence-aware
+// run summary (simulated steps, splice and early-exit counts from the
+// per-run spans), and the metrics record. It exits
 // nonzero on the first invalid file, so CI can gate on the ledger
 // schema.
 package main
@@ -56,6 +57,7 @@ func check(path string, quiet bool) error {
 	phases := map[string]int{}
 	caches := map[string]int{}
 	exits := map[string]int{}
+	nodes := map[string]int{}
 	var spans int
 	var queueNs, execNs int64
 	var simSteps int64
@@ -69,6 +71,9 @@ func check(path string, quiet bool) error {
 			spans++
 			phases[r.Span.Phase]++
 			caches[r.Span.Cache]++
+			if r.Span.Node != "" {
+				nodes[r.Span.Node]++
+			}
 			queueNs += r.Span.QueueNs
 			execNs += r.Span.ExecNs
 			if r.Span.ExitReason != "" {
@@ -94,6 +99,13 @@ func check(path string, quiet bool) error {
 		fmt.Printf("; queue %s, exec %s\n",
 			time.Duration(queueNs).Round(time.Millisecond),
 			time.Duration(execNs).Round(time.Millisecond))
+	}
+	if len(nodes) > 0 {
+		fmt.Printf("  nodes:")
+		for _, k := range sortedCounts(nodes) {
+			fmt.Printf(" %d %s", nodes[k], k)
+		}
+		fmt.Println()
 	}
 	if runs := phases["run"]; runs > 0 {
 		fmt.Printf("  divergence: %d run spans, %d simulated steps", runs, simSteps)

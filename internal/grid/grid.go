@@ -1,0 +1,78 @@
+// Package grid distributes a lab spec DAG across worker processes: a
+// coordinator serves ready jobs from a pull queue over stdlib net/http,
+// and workers execute them with the unmodified single-process scheduler
+// (internal/lab), exchanging artifact bytes through a content-addressed
+// store shared via the coordinator.
+//
+// The design leans entirely on the lab's determinism invariant: every
+// artifact is a pure function of its spec, so WHERE a job runs is pure
+// strategy — like fork vs cold or lane width at the run level — and the
+// report produced from a fleet of N workers is byte-identical to the
+// single-process one. That also makes the failure story simple:
+// duplicate executions (an expired lease requeued while the original
+// worker still finishes) write identical bytes, and anything the fleet
+// abandons is recomputed locally by the coordinator's lab.
+//
+// Protocol (all JSON/octet-stream over HTTP; every worker request
+// carries an X-Diverseav-Wire header and the coordinator rejects a
+// mismatch with a descriptive 400, so mixed-version fleets fail fast):
+//
+//	GET  /grid/ping          handshake: {wire, telemetry, worker-id}
+//	GET  /grid/job?worker=N  lease one ready job: 200 {key, kind, spec}
+//	                         | 204 none ready | 410 shutting down
+//	POST /grid/done?key=K    job finished, artifact in store: 200
+//	                         | 409 artifact missing (upload and retry)
+//	POST /grid/fail?key=K    job failed (body = reason): requeued or
+//	                         abandoned by the attempt cap
+//	GET  /grid/artifact/K    artifact bytes + X-Artifact-SHA256
+//	PUT  /grid/artifact/K    store artifact (hash verified server-side)
+//	POST /grid/ledger?worker=N  JSONL telemetry batch to merge
+package grid
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// Protocol paths and headers.
+const (
+	pathPing     = "/grid/ping"
+	pathJob      = "/grid/job"
+	pathDone     = "/grid/done"
+	pathFail     = "/grid/fail"
+	pathArtifact = "/grid/artifact/"
+	pathLedger   = "/grid/ledger"
+
+	// headerWire carries the sender's artifact wire-format version
+	// (lab.WireVersion) on every worker request; see the package comment.
+	headerWire = "X-Diverseav-Wire"
+	// headerSHA carries the hex SHA-256 of an artifact payload on both
+	// transfer directions; receivers verify before trusting the bytes.
+	headerSHA = "X-Artifact-SHA256"
+)
+
+// pingMsg is the handshake response: the coordinator's wire version
+// (checked against the worker's own), whether the run wants telemetry
+// streamed back, and the worker identity assigned to this caller.
+type pingMsg struct {
+	Wire      int  `json:"wire"`
+	Telemetry bool `json:"telemetry"`
+	Worker    int  `json:"worker"`
+}
+
+// jobMsg is one leased job: the spec's identity and its JSON envelope
+// (lab.EncodeSpec). Dependencies are not listed — the worker's lab
+// resolves them as store fetches, and the coordinator only serves a job
+// once its dependencies are stored.
+type jobMsg struct {
+	Key  string          `json:"key"`
+	Kind string          `json:"kind"`
+	Spec json.RawMessage `json:"spec"`
+}
+
+// artifactSum is the hex SHA-256 both ends stamp on artifact transfers.
+func artifactSum(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

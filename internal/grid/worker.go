@@ -1,0 +1,385 @@
+package grid
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"diverseav/internal/lab"
+	"diverseav/internal/obs"
+	"diverseav/internal/scenario"
+)
+
+// WorkerConfig tunes one worker process. Addr is required; the zero
+// value of everything else selects the defaults.
+type WorkerConfig struct {
+	// Addr is the coordinator's host:port.
+	Addr string
+	// Poll is the idle-queue poll interval (default 100ms).
+	Poll time.Duration
+	// ConnectTimeout bounds the initial handshake retry window (default
+	// 10s): a worker started before its coordinator keeps knocking this
+	// long, then gives up.
+	ConnectTimeout time.Duration
+	// RetryTimeout bounds post-handshake network-error retries (default
+	// 5s): a coordinator gone this long means the run is over and the
+	// worker exits cleanly.
+	RetryTimeout time.Duration
+	// Log receives worker progress lines (nil disables).
+	Log func(format string, args ...any)
+	// Register adds scenarios to the worker lab's registry beyond the
+	// built-in library — test variants registered under library names
+	// must be registered identically on every node that shares a store.
+	Register []*scenario.Scenario
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.Poll <= 0 {
+		c.Poll = 100 * time.Millisecond
+	}
+	if c.ConnectTimeout <= 0 {
+		c.ConnectTimeout = 10 * time.Second
+	}
+	if c.RetryTimeout <= 0 {
+		c.RetryTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// httpStore is the worker-side lab.Store: artifact bytes fetched from
+// and written through the coordinator, content-hash-verified in both
+// directions so a truncated or tampered transfer surfaces as a corrupt
+// entry (recomputed) rather than silently decoding garbage.
+type httpStore struct {
+	base   string // http://host:port
+	client *http.Client
+}
+
+func (s *httpStore) request(method, key string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequest(method, s.base+pathArtifact+key, body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(headerWire, strconv.Itoa(lab.WireVersion))
+	return req, nil
+}
+
+// Get implements lab.Store.
+func (s *httpStore) Get(key string) ([]byte, error) {
+	req, err := s.request(http.MethodGet, key, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, lab.ErrNotFound
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("grid store: GET %s: %s", key, httpError(resp))
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if want := resp.Header.Get(headerSHA); want != "" && want != artifactSum(data) {
+		return nil, fmt.Errorf("grid store: GET %s: payload hash mismatch (transfer corrupted)", key)
+	}
+	return data, nil
+}
+
+// Put implements lab.Store.
+func (s *httpStore) Put(key string, data []byte) error {
+	req, err := s.request(http.MethodPut, key, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set(headerSHA, artifactSum(data))
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("grid store: PUT %s: %s", key, httpError(resp))
+	}
+	return nil
+}
+
+// Has implements lab.Store.
+func (s *httpStore) Has(key string) bool {
+	req, err := s.request(http.MethodHead, key, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func httpError(resp *http.Response) string {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	msg := string(bytes.TrimSpace(body))
+	if msg == "" {
+		return resp.Status
+	}
+	return resp.Status + ": " + msg
+}
+
+// lineSink buffers the worker's local ledger output and hands back only
+// complete JSONL lines, so a batch posted to the coordinator never ends
+// mid-record even if a flush raced a buffered write.
+type lineSink struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (s *lineSink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Write(p)
+}
+
+func (s *lineSink) take() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.buf.Bytes()
+	i := bytes.LastIndexByte(b, '\n')
+	if i < 0 {
+		return nil
+	}
+	out := append([]byte(nil), b[:i+1]...)
+	s.buf.Next(i + 1)
+	return out
+}
+
+// Work runs one worker against the coordinator at cfg.Addr until the
+// coordinator shuts down (a clean nil return), the handshake cannot be
+// established, or the coordinator stays unreachable past the retry
+// window. Jobs execute on the worker's own lab — the unmodified
+// single-process scheduler — with the coordinator's HTTP store as its
+// artifact layer, so dependencies arrive as store fetches and results
+// leave as write-through puts.
+func Work(cfg WorkerConfig) error {
+	cfg = cfg.withDefaults()
+	base := "http://" + cfg.Addr
+	client := &http.Client{Timeout: 5 * time.Minute}
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	ping, err := handshake(base, client, cfg)
+	if err != nil {
+		return err
+	}
+	if ping.Wire != lab.WireVersion {
+		return fmt.Errorf("grid worker: coordinator speaks artifact wire version %d, this build speaks %d — coordinator and workers must run the same build", ping.Wire, lab.WireVersion)
+	}
+	id := strconv.Itoa(ping.Worker)
+	logf("grid worker %s: joined %s (telemetry %v)", id, cfg.Addr, ping.Telemetry)
+
+	store := &httpStore{base: base, client: client}
+	var sink *lineSink
+	var led *obs.Ledger
+	newLab := func() *lab.Lab {
+		l := lab.New()
+		for _, sc := range cfg.Register {
+			l.RegisterScenario(sc)
+		}
+		l.SetStore(store)
+		l.SetLedger(led)
+		return l
+	}
+	if ping.Telemetry {
+		sink = &lineSink{}
+		led = obs.NewLedger(sink)
+		led.EmitMeta(obs.NewMeta("experiments-worker"))
+	}
+	l := newLab()
+
+	get := func(path string) (*http.Response, error) {
+		req, err := http.NewRequest(http.MethodGet, base+path, nil)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set(headerWire, strconv.Itoa(lab.WireVersion))
+		return client.Do(req)
+	}
+	post := func(path string, body []byte) (*http.Response, error) {
+		req, err := http.NewRequest(http.MethodPost, base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set(headerWire, strconv.Itoa(lab.WireVersion))
+		return client.Do(req)
+	}
+	postLedger := func() {
+		if led == nil {
+			return
+		}
+		led.Flush()
+		batch := sink.take()
+		if len(batch) == 0 {
+			return
+		}
+		if resp, err := post(pathLedger+"?worker="+id, batch); err == nil {
+			resp.Body.Close()
+		}
+	}
+
+	lastContact := time.Now()
+	for {
+		resp, err := get(pathJob + "?worker=" + id)
+		if err != nil {
+			if time.Since(lastContact) > cfg.RetryTimeout {
+				logf("grid worker %s: coordinator unreachable for %s; exiting", id, cfg.RetryTimeout)
+				return nil
+			}
+			time.Sleep(cfg.Poll)
+			continue
+		}
+		lastContact = time.Now()
+		switch resp.StatusCode {
+		case http.StatusNoContent:
+			resp.Body.Close()
+			time.Sleep(cfg.Poll)
+			continue
+		case http.StatusGone:
+			resp.Body.Close()
+			postLedger()
+			logf("grid worker %s: coordinator shut down; exiting", id)
+			return nil
+		case http.StatusOK:
+			// fall through to execute
+		default:
+			msg := httpError(resp)
+			resp.Body.Close()
+			return fmt.Errorf("grid worker: job poll refused: %s", msg)
+		}
+
+		var jm jobMsg
+		err = json.NewDecoder(resp.Body).Decode(&jm)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("grid worker: job message: %w", err)
+		}
+		logf("grid worker %s: running %s", id, jm.Key)
+
+		if err := runJob(l, jm); err != nil {
+			logf("grid worker %s: job %s failed: %v", id, jm.Key, err)
+			// A panicking job can leave the lab's in-flight bookkeeping
+			// poisoned; a fresh lab costs only warm memory (the store keeps
+			// every finished artifact), so rebuild rather than risk it.
+			l = newLab()
+			postLedger()
+			if resp, err := post(pathFail+"?key="+jm.Key+"&worker="+id, []byte(err.Error())); err == nil {
+				resp.Body.Close()
+			}
+			continue
+		}
+		postLedger()
+
+		// The write-through put inside the lab normally stored the bytes
+		// already; 409 means it failed (e.g. a dropped connection), so
+		// upload explicitly and claim completion once more.
+		acked := false
+		for attempt := 0; attempt < 2 && !acked; attempt++ {
+			resp, err := post(pathDone+"?key="+jm.Key+"&worker="+id, nil)
+			if err != nil {
+				break
+			}
+			status := resp.StatusCode
+			resp.Body.Close()
+			if status == http.StatusOK {
+				acked = true
+				break
+			}
+			if status != http.StatusConflict {
+				break
+			}
+			spec, derr := lab.DecodeSpec(jm.Spec)
+			if derr != nil {
+				break
+			}
+			data, eerr := l.EncodeArtifact(spec)
+			if eerr != nil {
+				break
+			}
+			if perr := store.Put(jm.Key, data); perr != nil {
+				break
+			}
+		}
+		if !acked {
+			logf("grid worker %s: could not confirm %s done", id, jm.Key)
+		}
+	}
+}
+
+// handshake pings the coordinator, retrying while it may still be
+// starting up.
+func handshake(base string, client *http.Client, cfg WorkerConfig) (pingMsg, error) {
+	deadline := time.Now().Add(cfg.ConnectTimeout)
+	var lastErr error
+	for {
+		req, err := http.NewRequest(http.MethodGet, base+pathPing, nil)
+		if err != nil {
+			return pingMsg{}, err
+		}
+		req.Header.Set(headerWire, strconv.Itoa(lab.WireVersion))
+		resp, err := client.Do(req)
+		if err == nil {
+			if resp.StatusCode != http.StatusOK {
+				msg := httpError(resp)
+				resp.Body.Close()
+				return pingMsg{}, fmt.Errorf("grid worker: handshake refused: %s", msg)
+			}
+			var ping pingMsg
+			err = json.NewDecoder(resp.Body).Decode(&ping)
+			resp.Body.Close()
+			if err != nil {
+				return pingMsg{}, fmt.Errorf("grid worker: handshake response: %w", err)
+			}
+			return ping, nil
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return pingMsg{}, fmt.Errorf("grid worker: no coordinator at %s after %s: %w", base, cfg.ConnectTimeout, lastErr)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// runJob executes one leased job on the worker lab, converting panics
+// (an unknown scenario, a poisoned cache entry) into errors the
+// coordinator can requeue or abandon.
+func runJob(l *lab.Lab, jm jobMsg) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	spec, err := lab.DecodeSpec(jm.Spec)
+	if err != nil {
+		return err
+	}
+	if got := spec.Key(); got != jm.Key {
+		return fmt.Errorf("spec decodes to key %s, job says %s", got, jm.Key)
+	}
+	// Require (not a bare fetch) so the job emits the same scheduler
+	// telemetry spans a single-process run would, with dependencies
+	// showing up as store hits.
+	l.Require(spec)
+	return nil
+}

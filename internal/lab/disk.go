@@ -8,6 +8,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strconv"
 
 	"diverseav/internal/core"
 	"diverseav/internal/fi"
@@ -15,22 +16,45 @@ import (
 	"diverseav/internal/trace"
 )
 
-// Disk format: one gob file per artifact key, a header followed by a
-// kind-specific wire payload. Wire types are deliberately narrower than
-// the in-memory types: a sim.Result's Checkpoints (pooled live runner
-// state — env pointers, machine state, RNG state) must never be
-// serialized, so results go to disk as just (Trace, Activations), and a
-// campaign as (Plans, Results) with its golden set reattached from the
-// golden artifact and its baseline recomputed on load (MeanTrajectory is
-// exact float64 arithmetic over gob-round-tripped inputs, so the reload
-// is bit-identical). Detectors are stored as their canonical JSON
+// Artifact wire format: a one-line ASCII version header followed by a
+// gob stream — a key-checking gob header, then a kind-specific payload.
+// The same bytes live in a DiskStore file and travel over the grid
+// coordinator's HTTP store, so the header doubles as the cross-process
+// compatibility gate: a coordinator and worker built at different wire
+// versions refuse each other's artifacts with a descriptive error
+// instead of decoding garbage.
+//
+// Wire types are deliberately narrower than the in-memory types: a
+// sim.Result's Checkpoints (pooled live runner state — env pointers,
+// machine state, RNG state) must never be serialized, so results go to
+// the store as just (Trace, Activations), and a campaign as (Plans,
+// Results) with its golden set reattached from the golden artifact and
+// its baseline recomputed on load (MeanTrajectory is exact float64
+// arithmetic over gob-round-tripped inputs, so the reload is
+// bit-identical). Detectors are stored as their canonical JSON
 // serialization (core.Detector.Save) inside the gob envelope.
 //
-// Any read failure — missing file, version skew, key mismatch, truncated
-// payload — falls back to recomputation; the cache can always be deleted
-// wholesale.
+// Read failures split into two classes. An entry without the magic
+// prefix is treated as a cache miss, not corruption: it is either a
+// pre-versioning cache file (the format before the header line) or a
+// foreign file, and both just mean "recompute quietly" — an old cache
+// directory keeps working as an empty one. An entry WITH the prefix
+// that fails anywhere after it (unsupported version, key mismatch,
+// truncated payload) is corrupt: recomputing silently would hide cache
+// rot or version skew, so the lab counts it and warns.
 
-const diskVersion = 1
+// WireVersion is the artifact wire-format version this build writes and
+// reads. It participates in the grid HTTP handshake (see internal/grid)
+// so mixed-version fleets fail fast with a descriptive error.
+const WireVersion = 2
+
+// wireMagic is the header-line prefix; the full header is
+// "diverseav-artifact/<version>\n".
+const wireMagic = "diverseav-artifact/"
+
+func wireHeader() []byte {
+	return []byte(fmt.Sprintf("%s%d\n", wireMagic, WireVersion))
+}
 
 type diskHeader struct {
 	Version int
@@ -59,14 +83,6 @@ type wireDetector struct {
 	JSON []byte
 }
 
-func ensureDir(dir string) error {
-	return os.MkdirAll(dir, 0o755)
-}
-
-func diskPath(dir, key string) string {
-	return filepath.Join(dir, key+".gob")
-}
-
 func toWireResults(results []*sim.Result) []wireResult {
 	out := make([]wireResult, len(results))
 	for i, r := range results {
@@ -83,13 +99,13 @@ func fromWireResults(results []wireResult) []*sim.Result {
 	return out
 }
 
-// saveDisk writes the artifact atomically (temp file + rename), so a
-// concurrent or killed writer never leaves a torn file behind.
-func (l *Lab) saveDisk(s Spec, key, dir string, v any) error {
+// encodeArtifact renders s's artifact v into the versioned wire format.
+func encodeArtifact(s Spec, key string, v any) ([]byte, error) {
 	var buf bytes.Buffer
+	buf.Write(wireHeader())
 	enc := gob.NewEncoder(&buf)
-	if err := enc.Encode(diskHeader{Version: diskVersion, Key: key}); err != nil {
-		return err
+	if err := enc.Encode(diskHeader{Version: WireVersion, Key: key}); err != nil {
+		return nil, err
 	}
 	var err error
 	switch s.(type) {
@@ -108,56 +124,59 @@ func (l *Lab) saveDisk(s Spec, key, dir string, v any) error {
 	case DetectorSpec:
 		var js bytes.Buffer
 		if err := v.(*core.Detector).Save(&js); err != nil {
-			return err
+			return nil, err
 		}
 		err = enc.Encode(wireDetector{JSON: js.Bytes()})
 	default:
-		return fmt.Errorf("lab: no wire format for %T", s)
+		return nil, fmt.Errorf("lab: no wire format for %T", s)
 	}
 	if err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(dir, "."+key+".tmp-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(buf.Bytes()); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), diskPath(dir, key))
-}
-
-// errCacheMiss marks the one benign loadDisk failure: the entry simply
-// isn't there. Every other error means an entry exists but is unusable
-// (corrupt, truncated, stale, version skew), which produce surfaces as
-// a counter and a stderr warning before recomputing.
-var errCacheMiss = errors.New("lab: cache miss")
-
-// loadDisk reads an artifact back. It returns errCacheMiss when no
-// entry exists and a descriptive error for an unusable one; either way
-// the caller recomputes.
-func (l *Lab) loadDisk(s Spec, key, dir string) (any, error) {
-	f, err := os.Open(diskPath(dir, key))
-	if err != nil {
-		if errors.Is(err, fs.ErrNotExist) {
-			return nil, errCacheMiss
-		}
 		return nil, err
 	}
-	defer f.Close()
-	dec := gob.NewDecoder(f)
+	return buf.Bytes(), nil
+}
+
+// checkWireHeader strips and validates the version header line. It
+// returns ErrNotFound for data without the magic prefix (a
+// pre-versioning cache entry or a foreign file: a miss, not
+// corruption) and a descriptive error for a recognized header at an
+// unsupported version — the mixed-build case that must fail loudly.
+func checkWireHeader(data []byte) ([]byte, error) {
+	if !bytes.HasPrefix(data, []byte(wireMagic)) {
+		return nil, ErrNotFound
+	}
+	rest := data[len(wireMagic):]
+	nl := bytes.IndexByte(rest, '\n')
+	if nl < 0 || nl > 20 {
+		return nil, fmt.Errorf("truncated wire header")
+	}
+	v, err := strconv.Atoi(string(rest[:nl]))
+	if err != nil {
+		return nil, fmt.Errorf("malformed wire version %q", rest[:nl])
+	}
+	if v != WireVersion {
+		return nil, fmt.Errorf("wire version %d, this build speaks %d — coordinator, workers and cache must be on the same build", v, WireVersion)
+	}
+	return rest[nl+1:], nil
+}
+
+// decodeArtifact decodes a wire payload back into s's artifact. It
+// returns ErrNotFound for unversioned entries and a descriptive error
+// for unusable ones; either way the caller recomputes. Campaign
+// decoding reattaches the golden dependency through the lab (a lab
+// artifact in its own right, possibly itself a store hit).
+func (l *Lab) decodeArtifact(s Spec, key string, data []byte) (any, error) {
+	body, err := checkWireHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	dec := gob.NewDecoder(bytes.NewReader(body))
 	var h diskHeader
 	if err := dec.Decode(&h); err != nil {
 		return nil, fmt.Errorf("header: %w", err)
 	}
-	if h.Version != diskVersion {
-		return nil, fmt.Errorf("version %d, want %d", h.Version, diskVersion)
+	if h.Version != WireVersion {
+		return nil, fmt.Errorf("version %d, want %d", h.Version, WireVersion)
 	}
 	if h.Key != key {
 		return nil, fmt.Errorf("keyed %q, want %q", h.Key, key)
@@ -189,8 +208,6 @@ func (l *Lab) loadDisk(s Spec, key, dir string) (any, error) {
 		if len(w.Plans) != len(w.Results) {
 			return nil, fmt.Errorf("torn campaign: %d plans, %d results", len(w.Plans), len(w.Results))
 		}
-		// Reattach the golden dependency (a lab artifact in its own right,
-		// possibly itself a disk hit) and rebuild the derived baseline.
 		golden := l.Golden(s.Golden)
 		c := &Campaign{
 			ScenarioName: s.Scenario,
@@ -218,4 +235,80 @@ func (l *Lab) loadDisk(s Spec, key, dir string) (any, error) {
 	default:
 		return nil, fmt.Errorf("no wire format for %T", s)
 	}
+}
+
+// DiskStore is the directory-backed Store: one file per artifact key.
+//
+// Multi-process semantics: any number of processes (a coordinator and
+// its workers, or several independent CLI invocations) may share one
+// directory.
+// Writes go through a same-directory temp file plus os.Rename, which on
+// POSIX replaces the target atomically — a reader racing a writer opens
+// either the complete old file or the complete new one, never a torn
+// mix, and a writer killed mid-Put leaves at worst an orphaned temp
+// file, never a half-written entry. Two processes putting the same key
+// race benignly: last write wins, and since a key's payload is the
+// deterministic wire encoding of the same spec-derived artifact, both
+// writes carry identical bytes anyway. These semantics are pinned by
+// TestDiskStoreConcurrentSameKey.
+type DiskStore struct {
+	dir string
+}
+
+// NewDiskStore opens (creating if missing) the artifact directory.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := ensureDir(dir); err != nil {
+		return nil, err
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+func ensureDir(dir string) error {
+	return os.MkdirAll(dir, 0o755)
+}
+
+func diskPath(dir, key string) string {
+	return filepath.Join(dir, key+".gob")
+}
+
+// Get implements Store.
+func (s *DiskStore) Get(key string) ([]byte, error) {
+	data, err := os.ReadFile(diskPath(s.dir, key))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, ErrNotFound
+		}
+		return nil, err
+	}
+	return data, nil
+}
+
+// Has implements Store.
+func (s *DiskStore) Has(key string) bool {
+	_, err := os.Stat(diskPath(s.dir, key))
+	return err == nil
+}
+
+// Put implements Store: atomic temp file + rename, so a concurrent or
+// killed writer never leaves a torn file behind and concurrent readers
+// always see a complete payload (see the type comment for the shared-
+// directory contract).
+func (s *DiskStore) Put(key string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, "."+key+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), diskPath(s.dir, key))
 }

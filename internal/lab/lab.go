@@ -39,7 +39,8 @@ type Lab struct {
 	mem      map[string]any
 	inflight map[string]chan struct{}
 	registry map[string]*scenario.Scenario
-	dir      string // "" = memory only
+	store    Store  // nil = memory only
+	remote   Remote // nil = every job executes in this process
 
 	logMu sync.Mutex
 	logf  func(format string, args ...any)
@@ -63,17 +64,57 @@ func New() *Lab {
 }
 
 // SetDisk enables the gob-on-disk artifact layer rooted at dir (created
-// if missing). Artifacts already on disk are loaded instead of computed;
-// newly computed artifacts are written back. Disk errors are never
-// fatal: a bad or stale file just means the artifact is recomputed.
+// if missing): shorthand for SetStore(NewDiskStore(dir)). Artifacts
+// already on disk are loaded instead of computed; newly computed
+// artifacts are written back. Disk errors are never fatal: a bad or
+// stale file just means the artifact is recomputed.
 func (l *Lab) SetDisk(dir string) error {
-	if err := ensureDir(dir); err != nil {
+	st, err := NewDiskStore(dir)
+	if err != nil {
 		return err
 	}
-	l.mu.Lock()
-	l.dir = dir
-	l.mu.Unlock()
+	l.SetStore(st)
 	return nil
+}
+
+// SetStore attaches a content-addressed artifact store (nil detaches
+// it): every fetch consults the store before computing, and every
+// computed artifact is written through. The store is the sharing
+// surface between processes — a directory for CLI reruns, the
+// coordinator's HTTP store for a grid worker.
+func (l *Lab) SetStore(st Store) {
+	l.mu.Lock()
+	l.store = st
+	l.mu.Unlock()
+}
+
+// Store returns the attached artifact store, nil when memory-only.
+func (l *Lab) Store() Store {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.store
+}
+
+// Remote executes a batch of specs somewhere other than this process —
+// the grid coordinator dispatching the DAG to pulling workers. Run
+// returns once every artifact is either in the lab's store or
+// abandoned; it reports abandoned work as an error, which Require
+// treats as "compute the remainder locally", never as fatal.
+type Remote interface {
+	Run(specs []Spec) error
+}
+
+// SetRemote installs a remote executor (nil detaches it): Require first
+// hands the scheduled closure to the remote, then runs its normal local
+// pass, which finds the remotely computed artifacts in the shared store
+// and degrades to local computation for anything the remote could not
+// finish. Results are byte-identical either way — every artifact is a
+// pure function of its spec — so remote execution is pure strategy,
+// like fork/splice/lane width at the run level.
+func (l *Lab) SetRemote(r Remote) {
+	l.mu.Lock()
+	l.remote = r
+	l.mu.Unlock()
 }
 
 // SetLog installs a progress logger (nil disables logging).
@@ -223,10 +264,10 @@ func (l *Lab) fetch(s Spec) (any, string) {
 		}
 		ch := make(chan struct{})
 		l.inflight[key] = ch
-		dir := l.dir
+		store := l.store
 		l.mu.Unlock()
 
-		v, status := l.produce(s, key, dir)
+		v, status := l.produce(s, key, store)
 
 		l.mu.Lock()
 		l.mem[key] = v
@@ -237,9 +278,9 @@ func (l *Lab) fetch(s Spec) (any, string) {
 	}
 }
 
-func (l *Lab) produce(s Spec, key, dir string) (any, string) {
-	if dir != "" {
-		v, err := l.loadDisk(s, key, dir)
+func (l *Lab) produce(s Spec, key string, store Store) (any, string) {
+	if store != nil {
+		v, err := l.loadStore(s, key, store)
 		switch {
 		case err == nil:
 			l.diskHits.Add(1)
@@ -265,12 +306,57 @@ func (l *Lab) produce(s Spec, key, dir string) (any, string) {
 	if in := instruments(); in != nil {
 		in.computed.Inc()
 	}
-	if dir != "" {
-		if err := l.saveDisk(s, key, dir, v); err != nil {
+	if store != nil {
+		if err := l.saveStore(s, key, store, v); err != nil {
 			l.log("lab: cache write %s: %v", key, err)
 		}
 	}
 	return v, obs.CacheComputed
+}
+
+// loadStore reads an artifact back through the store; saveStore writes
+// one through. Both funnel through the wire codec in disk.go.
+func (l *Lab) loadStore(s Spec, key string, store Store) (any, error) {
+	data, err := store.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	return l.decodeArtifact(s, key, data)
+}
+
+func (l *Lab) saveStore(s Spec, key string, store Store, v any) error {
+	data, err := encodeArtifact(s, key, v)
+	if err != nil {
+		return err
+	}
+	return store.Put(key, data)
+}
+
+// errCacheMiss is the benign "no entry" case loadStore propagates from
+// the store and the codec; it aliases ErrNotFound so store
+// implementations and the produce path agree on it.
+var errCacheMiss = ErrNotFound
+
+// Materialize computes (or store-loads) the artifact for s, memoizing
+// it under its key — the untyped counterpart of the getters below, used
+// by grid workers that receive specs over the wire and only need the
+// side effects: the artifact lands in memory and, through write-through,
+// in the shared store.
+func (l *Lab) Materialize(s Spec) { l.get(s) }
+
+// EncodeArtifact returns the wire encoding of s's already-materialized
+// artifact — the bytes a Store holds for its key. It errors if the
+// artifact has not been materialized in this lab.
+func (l *Lab) EncodeArtifact(s Spec) ([]byte, error) {
+	s = s.normalize()
+	key := s.Key()
+	l.mu.Lock()
+	v, ok := l.mem[key]
+	l.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("lab: artifact %s not materialized", key)
+	}
+	return encodeArtifact(s, key, v)
 }
 
 // provide publishes a precomputed artifact under s's key, so subsequent
@@ -338,8 +424,23 @@ func (l *Lab) Require(specs ...Spec) {
 	}
 
 	l.mu.Lock()
-	ledger, progress := l.ledger, l.progress
+	ledger, progress, remote := l.ledger, l.progress, l.remote
 	l.mu.Unlock()
+
+	// With a remote executor attached, hand the scheduled closure to it
+	// first: workers compute the artifacts into the shared store, and the
+	// local pass below turns into store loads. Remote failure (or partial
+	// completion — abandoned jobs after worker deaths) is never fatal:
+	// whatever the fleet did not deliver is computed locally.
+	if remote != nil {
+		specs := make([]Spec, len(order))
+		for i, n := range order {
+			specs[i] = n.spec
+		}
+		if err := remote.Run(specs); err != nil {
+			l.log("lab: remote execution incomplete (%v); computing the remainder locally", err)
+		}
+	}
 	// Spans and the exec histogram need timestamps; skip the clock reads
 	// entirely when nothing consumes them.
 	timed := ledger != nil || obs.Enabled()

@@ -283,13 +283,15 @@ func TestDiskCacheRoundTrip(t *testing.T) {
 		t.Error("detector changed across the disk round trip")
 	}
 
-	// Corrupt cache entries must fall back to recomputation, not fail.
+	// Corrupt cache entries — a recognized wire header with garbage after
+	// it — must fall back to recomputation, not fail.
 	l3 := New()
 	if err := l3.SetDisk(dir); err != nil {
 		t.Fatal(err)
 	}
 	l3.RegisterScenario(sc)
-	if err := os.WriteFile(diskPath(dir, detSpec.Key()), []byte("not a gob"), 0o644); err != nil {
+	corrupt := append(wireHeader(), []byte("not a gob")...)
+	if err := os.WriteFile(diskPath(dir, detSpec.Key()), corrupt, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if l3.Detector(detSpec) == nil {
@@ -300,6 +302,24 @@ func TestDiskCacheRoundTrip(t *testing.T) {
 	}
 	if st := l3.Stats(); st.DiskCorrupt != 1 {
 		t.Errorf("corrupt entry: DiskCorrupt = %d, want 1", st.DiskCorrupt)
+	}
+
+	// A pre-versioning entry (no wire header at all, the format before the
+	// header line) is a quiet miss, not corruption: old cache directories
+	// degrade to empty ones.
+	l5 := New()
+	if err := l5.SetDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	l5.RegisterScenario(sc)
+	if err := os.WriteFile(diskPath(dir, detSpec.Key()), []byte("not a gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if l5.Detector(detSpec) == nil {
+		t.Fatal("unversioned cache entry broke the getter")
+	}
+	if st := l5.Stats(); st.Computed != 1 || st.DiskCorrupt != 0 {
+		t.Errorf("unversioned entry: Computed = %d, DiskCorrupt = %d, want 1 and 0 (a miss)", st.Computed, st.DiskCorrupt)
 	}
 
 	// A plain miss (no file at all) is not corruption.

@@ -1,0 +1,42 @@
+package lab
+
+import "errors"
+
+// Store is a content-addressed artifact byte store: opaque wire-encoded
+// artifact payloads addressed by their spec key. The lab writes every
+// computed artifact through its store and consults it before computing,
+// which is what makes warm reruns simulation-free — and, with a store
+// shared between processes (a directory, or the coordinator's HTTP
+// store in internal/grid), what lets a fleet of workers exchange
+// artifacts without ever exchanging live Go values.
+//
+// Keys are the filename-safe spec content hashes of Spec.Key, so a
+// store never needs to interpret the bytes it holds; integrity is
+// layered on top (the wire codec's version header and gob structure on
+// disk, plus a content hash on each HTTP transfer).
+//
+// Implementations must be safe for concurrent use by multiple
+// goroutines, and Put must be atomic: a concurrent Get observes either
+// a complete previous payload or the complete new one, never a torn
+// mix. Because every payload for a key is the deterministic encoding of
+// the same spec-derived artifact, concurrent writers racing on one key
+// are benign — last write wins, and all writes carry identical bytes.
+type Store interface {
+	// Get returns the payload stored under key, or ErrNotFound when the
+	// store has no entry for it. Any other error means an entry may
+	// exist but could not be retrieved.
+	Get(key string) ([]byte, error)
+	// Put stores data under key, replacing any previous entry.
+	Put(key string, data []byte) error
+	// Has cheaply reports whether the store currently holds key. It is
+	// advisory (a concurrent writer or eviction can change the answer);
+	// callers that need the payload use Get and handle ErrNotFound.
+	Has(key string) bool
+}
+
+// ErrNotFound marks the one benign Store.Get failure: the entry simply
+// isn't there, so the caller computes the artifact itself. Every other
+// Get or decode error means an entry exists but is unusable, which the
+// lab surfaces as a corrupt-entry counter and a stderr warning before
+// recomputing.
+var ErrNotFound = errors.New("lab: artifact not found")

@@ -1,0 +1,162 @@
+package lab
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+)
+
+// TestDiskStoreConcurrentSameKey pins the multi-process contract
+// documented on DiskStore: many writers hammering one key through
+// separate store handles (as separate CLI invocations or a grid fleet
+// sharing a -cache directory would) while readers poll it must never
+// produce a torn read — every Get observes exactly one writer's
+// complete payload — and the final state is some writer's last write.
+func TestDiskStoreConcurrentSameKey(t *testing.T) {
+	dir := t.TempDir()
+	const (
+		writers    = 4
+		readers    = 4
+		iterations = 200
+	)
+
+	// Each writer writes a self-consistent payload: repeated copies of
+	// its own tag line, so any splice of two payloads is detectable.
+	payload := func(w int) []byte {
+		line := []byte(fmt.Sprintf("writer-%d payload line\n", w))
+		return bytes.Repeat(line, 64)
+	}
+	valid := make(map[string]bool, writers)
+	for w := 0; w < writers; w++ {
+		valid[string(payload(w))] = true
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st, err := NewDiskStore(dir) // separate handle per "process"
+			if err != nil {
+				errs <- err
+				return
+			}
+			data := payload(w)
+			for i := 0; i < iterations; i++ {
+				if err := st.Put("contended", data); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			st, err := NewDiskStore(dir)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < iterations; i++ {
+				data, err := st.Get("contended")
+				if err == ErrNotFound {
+					continue // nobody has written yet
+				}
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+				if !valid[string(data)] {
+					errs <- fmt.Errorf("reader %d: torn read (%d bytes, starts %q)", r, len(data), data[:min(40, len(data))])
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := st.Get("contended")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !valid[string(final)] {
+		t.Errorf("final state is not any writer's payload (last-write-wins violated): %q...", final[:min(40, len(final))])
+	}
+	if !st.Has("contended") {
+		t.Error("Has false for a present key")
+	}
+
+	// No orphaned temp files once all writers finished cleanly.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("store dir holds %v, want exactly the one entry", names)
+	}
+}
+
+func TestDiskStoreGetMissing(t *testing.T) {
+	st, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get("absent"); err != ErrNotFound {
+		t.Errorf("Get(absent) = %v, want ErrNotFound", err)
+	}
+	if st.Has("absent") {
+		t.Error("Has(absent) = true")
+	}
+}
+
+// The wire header gate: version skew is a descriptive corrupt error
+// (mixed builds must fail loudly), no magic is a quiet miss (old or
+// foreign files), and truncation after the magic is corrupt.
+func TestCheckWireHeader(t *testing.T) {
+	body, err := checkWireHeader(append(wireHeader(), []byte("payload")...))
+	if err != nil || string(body) != "payload" {
+		t.Errorf("current-version header: body %q, err %v", body, err)
+	}
+
+	if _, err := checkWireHeader([]byte("random bytes")); err != ErrNotFound {
+		t.Errorf("magic-less data: err %v, want ErrNotFound (a miss)", err)
+	}
+	if _, err := checkWireHeader(nil); err != ErrNotFound {
+		t.Errorf("empty data: err %v, want ErrNotFound", err)
+	}
+
+	future := []byte(fmt.Sprintf("%s%d\npayload", wireMagic, WireVersion+1))
+	_, err = checkWireHeader(future)
+	if err == nil || err == ErrNotFound {
+		t.Fatalf("future version: err %v, want a descriptive corrupt error", err)
+	}
+	for _, want := range []string{fmt.Sprintf("wire version %d", WireVersion+1), fmt.Sprintf("speaks %d", WireVersion), "same build"} {
+		if !bytes.Contains([]byte(err.Error()), []byte(want)) {
+			t.Errorf("future-version error %q missing %q", err, want)
+		}
+	}
+
+	if _, err := checkWireHeader([]byte(wireMagic)); err == nil || err == ErrNotFound {
+		t.Errorf("truncated header: err %v, want corrupt", err)
+	}
+	if _, err := checkWireHeader([]byte(wireMagic + "x\n")); err == nil || err == ErrNotFound {
+		t.Errorf("malformed version: err %v, want corrupt", err)
+	}
+}

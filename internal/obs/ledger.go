@@ -29,9 +29,12 @@ const (
 
 // SchemaVersion is the ledger schema this package writes. Version 2
 // added the per-run span fields (simulated_steps, exit_reason) for
-// divergence-aware campaign execution. Readers accept every version up
-// to this one: older ledgers simply lack the newer optional fields.
-const SchemaVersion = 2
+// divergence-aware campaign execution; version 3 added the node field
+// on meta and span records so a grid coordinator can merge its workers'
+// ledgers into one stream with per-process identity. Readers accept
+// every version up to this one: older ledgers simply lack the newer
+// optional fields.
+const SchemaVersion = 3
 
 // Exit reasons a divergence-aware run span can carry. An empty reason
 // means the run simulated to its natural end.
@@ -61,6 +64,12 @@ type Meta struct {
 	// (SchemaVersion). Zero in ledgers written before versioning; the
 	// decoder accepts both.
 	Schema int `json:"schema,omitempty"`
+	// Node identifies the process that wrote this record in a merged
+	// multi-process ledger (schema >= 3): empty for the coordinator (or a
+	// plain single-process run), "worker-N" for grid workers. The
+	// coordinator stamps it while merging, so workers need no
+	// self-assigned identity.
+	Node string `json:"node,omitempty"`
 }
 
 // Span records one lab job as the scheduler actually executed it, or —
@@ -83,6 +92,10 @@ type Span struct {
 	// ExitReason is why simulation stopped short of the scenario end:
 	// ExitSplice or ExitEarly. Empty for full-length runs.
 	ExitReason string `json:"exit_reason,omitempty"`
+	// Node identifies the process that executed this span in a merged
+	// multi-process ledger (schema >= 3); see Meta.Node. Worker within
+	// that process stays in the Worker field.
+	Node string `json:"node,omitempty"`
 }
 
 // Record is the tagged union written one-per-line to the ledger.
@@ -137,6 +150,38 @@ func (l *Ledger) Emit(rec Record) {
 	}
 	l.w.Write(b)
 	l.w.WriteByte('\n')
+}
+
+// EmitRaw appends a fully-formed record verbatim, preserving its
+// ElapsedNs stamp instead of restamping against this ledger's clock. A
+// grid coordinator uses it to splice worker-produced records into the
+// merged ledger: each record keeps the elapsed time measured on the
+// process that did the work.
+func (l *Ledger) EmitRaw(rec Record) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	l.w.Write(b)
+	l.w.WriteByte('\n')
+}
+
+// Flush forces buffered records to the underlying writer without
+// closing it. Safe on nil. Workers streaming their ledger over a pipe
+// or line buffer flush after every job so the coordinator sees complete
+// lines even if the worker later dies.
+func (l *Ledger) Flush() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Flush()
 }
 
 // EmitMeta writes the invocation-metadata record (first in the file).

@@ -213,6 +213,54 @@ func TestValidateOldSchemaLedger(t *testing.T) {
 	}
 }
 
+// TestMergedLedgerRoundTrip pins the schema-v3 merge surface: EmitRaw
+// preserves a worker record's elapsed stamp verbatim, node identity
+// survives the round trip on meta and span records, and a merged ledger
+// (coordinator meta first, then node-stamped worker records) validates.
+func TestMergedLedgerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLedger(&buf)
+	l.EmitMeta(NewMeta("coordinator"))
+
+	workerMeta := NewMeta("worker")
+	workerMeta.Node = "worker-1"
+	l.EmitRaw(Record{Type: RecordMeta, ElapsedNs: 42, Meta: &workerMeta})
+	l.EmitRaw(Record{Type: RecordSpan, ElapsedNs: 7_000_000, Span: &Span{
+		Key: "campaign/abc", Phase: "campaign", Cache: CacheComputed,
+		ExecNs: 5_000_000, Worker: 3, Node: "worker-1",
+	}})
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flush, not Close: the buffer must already hold complete lines.
+	recs, err := ReadLedger(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(recs); err != nil {
+		t.Fatalf("valid merged ledger rejected: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[1].ElapsedNs != 42 {
+		t.Errorf("EmitRaw restamped elapsed_ns: got %d, want 42", recs[1].ElapsedNs)
+	}
+	if recs[1].Meta.Node != "worker-1" {
+		t.Errorf("worker meta node lost: %+v", recs[1].Meta)
+	}
+	if s := recs[2].Span; s.Node != "worker-1" || s.Worker != 3 || s.ExecNs != 5_000_000 {
+		t.Errorf("worker span lost fields: %+v", s)
+	}
+	if recs[2].ElapsedNs != 7_000_000 {
+		t.Errorf("EmitRaw restamped span elapsed_ns: got %d", recs[2].ElapsedNs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestValidateRejectsDivergenceFields extends the rejection table to the
 // v2 fields.
 func TestValidateRejectsDivergenceFields(t *testing.T) {

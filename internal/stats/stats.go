@@ -270,3 +270,30 @@ func (c Confusion) String() string {
 	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d P=%.2f R=%.2f F1=%.2f",
 		c.TP, c.FP, c.TN, c.FN, c.Precision(), c.Recall(), c.F1())
 }
+
+// WilsonCI returns the Wilson score confidence interval for a binomial
+// proportion: successes out of n trials at critical value z (1.96 for
+// 95%). Unlike the normal approximation it stays inside [0, 1] and
+// remains defined at the campaign-report edges — a single-run cell
+// (n = 1) gives a wide but finite interval, and an empty cell (n = 0)
+// returns (0, 1), the honest "no information" answer, never NaN.
+func WilsonCI(successes, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	p := float64(successes) / float64(n)
+	nn := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nn
+	center := p + z2/(2*nn)
+	margin := z * math.Sqrt(p*(1-p)/nn+z2/(4*nn*nn))
+	lo = (center - margin) / denom
+	hi = (center + margin) / denom
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

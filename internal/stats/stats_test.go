@@ -306,3 +306,118 @@ func TestConfusionF1BoundsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Campaign reports feed these estimators degenerate cells: empty
+// campaigns (no runs at all), single-run cells, and all-masked
+// campaigns where every outcome lands in one confusion quadrant. None
+// of them may panic or emit NaN/Inf into a report table.
+func TestEstimatorDegenerateCells(t *testing.T) {
+	finite := func(name string, xs ...float64) {
+		t.Helper()
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Errorf("%s produced a non-finite value: %v", name, xs)
+				return
+			}
+		}
+	}
+
+	// Zero-run cells.
+	finite("Mean(empty)", Mean(nil))
+	finite("StdDev(empty)", StdDev(nil))
+	var c Confusion
+	finite("Confusion(empty)", c.Precision(), c.Recall(), c.F1())
+	h := NewHistogram(0, 1, 4)
+	finite("Histogram(empty).Percentile", h.Percentile(50))
+	finite("Rolling(empty).Mean", NewRolling(3).Mean())
+
+	// Single-run cells: defined, finite, and degenerate where they
+	// should be (a one-sample deviation is 0 by convention).
+	one := []float64{0.7}
+	finite("Mean(one)", Mean(one))
+	if got := StdDev(one); got != 0 {
+		t.Errorf("StdDev of one sample = %v, want 0", got)
+	}
+	if got := Percentile(one, 95); got != 0.7 {
+		t.Errorf("Percentile of one sample = %v, want the sample", got)
+	}
+	s := Summarize(one)
+	if s.Min != 0.7 || s.Median != 0.7 || s.Max != 0.7 {
+		t.Errorf("Summarize of one sample = %+v", s)
+	}
+
+	// All-masked campaigns: every run benign, so one quadrant holds
+	// everything and the positive-class metrics are undefined-by-zero.
+	masked := Confusion{TN: 40}
+	finite("Confusion(all-masked)", masked.Precision(), masked.Recall(), masked.F1())
+	if masked.F1() != 0 {
+		t.Errorf("all-masked F1 = %v, want 0", masked.F1())
+	}
+}
+
+// WilsonCI must stay inside [0, 1], be defined for n = 0 and n = 1, and
+// tighten as evidence accumulates.
+func TestWilsonCI(t *testing.T) {
+	const z = 1.96
+
+	lo, hi := WilsonCI(0, 0, z)
+	if lo != 0 || hi != 1 {
+		t.Errorf("WilsonCI(0, 0) = (%v, %v), want the vacuous (0, 1)", lo, hi)
+	}
+
+	// Single-run cells: wide but finite and strictly inside the prior.
+	lo1, hi1 := WilsonCI(1, 1, z)
+	finiteInterval := func(name string, lo, hi float64) {
+		t.Helper()
+		if math.IsNaN(lo) || math.IsNaN(hi) || lo < 0 || hi > 1 || lo > hi {
+			t.Errorf("%s = (%v, %v), want 0 <= lo <= hi <= 1", name, lo, hi)
+		}
+	}
+	finiteInterval("WilsonCI(1, 1)", lo1, hi1)
+	if hi1 != 1 || lo1 <= 0 {
+		t.Errorf("WilsonCI(1, 1) = (%v, %v): a lone success should keep hi at 1 and pull lo above 0", lo1, hi1)
+	}
+	lo0, hi0 := WilsonCI(0, 1, z)
+	finiteInterval("WilsonCI(0, 1)", lo0, hi0)
+	if lo0 != 0 || hi0 >= 1 {
+		t.Errorf("WilsonCI(0, 1) = (%v, %v): a lone failure should keep lo at 0 and pull hi below 1", lo0, hi0)
+	}
+
+	// More evidence at the same proportion narrows the interval and
+	// always covers the point estimate.
+	prev := 1.0
+	for _, n := range []int{2, 10, 100, 1000} {
+		lo, hi := WilsonCI(n/2, n, z)
+		finiteInterval("WilsonCI(n/2, n)", lo, hi)
+		if p := 0.5; lo > p || hi < p {
+			t.Errorf("WilsonCI(%d, %d) = (%v, %v) does not cover the point estimate", n/2, n, lo, hi)
+		}
+		if width := hi - lo; width >= prev {
+			t.Errorf("WilsonCI width did not shrink at n=%d: %v >= %v", n, width, prev)
+		} else {
+			prev = width
+		}
+	}
+
+	// Property: for arbitrary (successes, n), the interval is ordered,
+	// bounded, and covers the sample proportion.
+	f := func(s, n uint8) bool {
+		trials := int(n)
+		succ := int(s)
+		if trials > 0 {
+			succ = succ % (trials + 1)
+		}
+		lo, hi := WilsonCI(succ, trials, z)
+		if math.IsNaN(lo) || math.IsNaN(hi) || lo < 0 || hi > 1 || lo > hi {
+			return false
+		}
+		if trials > 0 {
+			p := float64(succ) / float64(trials)
+			return lo <= p+1e-12 && hi >= p-1e-12
+		}
+		return lo == 0 && hi == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
