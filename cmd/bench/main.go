@@ -148,6 +148,31 @@ func benchAgentFrame(tier int) func(b *testing.B) {
 	}
 }
 
+// benchCampaignSurface measures a transient campaign on a pluggable
+// fault surface at DefaultSizes — the non-VM injection hot path (frame
+// and output hook dispatch plus checkpoint forks, no instruction-stream
+// plumbing). The golden set is precomputed like the instruction entry's,
+// so the ladders differ only in the armed surface.
+func benchCampaignSurface(surface string, stepsOut *int) func(b *testing.B) {
+	sc := scenario.LeadSlowdown()
+	sizes := campaign.DefaultSizes()
+	golden := campaign.Golden(sc, sim.RoundRobin, 1, 1033)
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		// Warm the checkpoint pool, matching benchCampaignTransient.
+		campaign.RunSurface(sc, surface, sim.RoundRobin, vm.GPU, fi.Transient, sizes, 33, golden, campaign.Options{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := campaign.RunSurface(sc, surface, sim.RoundRobin, vm.GPU, fi.Transient, sizes, 33, golden, campaign.Options{})
+			total := 0
+			for _, r := range c.Runs {
+				total += len(r.Result.Trace.Steps)
+			}
+			*stepsOut = total
+		}
+	}
+}
+
 // benchRunFromCheckpoint measures a single fork: resume a run from its
 // midpoint checkpoint. StepsPerSec is again effective throughput over
 // the full trace (half restored, half simulated).
@@ -480,6 +505,13 @@ func main() {
 			return r, steps
 		}
 	}
+	surfCase := func(surface string) func() (testing.BenchmarkResult, int) {
+		return func() (testing.BenchmarkResult, int) {
+			var steps int
+			r := testing.Benchmark(benchCampaignSurface(surface, &steps))
+			return r, steps
+		}
+	}
 	noSteps := func(fn func(b *testing.B)) func() (testing.BenchmarkResult, int) {
 		return func() (testing.BenchmarkResult, int) { return testing.Benchmark(fn), 0 }
 	}
@@ -502,6 +534,8 @@ func main() {
 		{"campaign/transient-fork", campCase(campaign.Options{DisableSplice: true, LaneWidth: -1})},
 		{"campaign/transient-splice", campCase(campaign.Options{LaneWidth: -1})},
 		{"campaign/transient-batch", campCase(campaign.Options{})},
+		{"campaign/sensorfault", surfCase(fi.SurfaceSensor)},
+		{"campaign/hallucinate", surfCase(fi.SurfaceHallucinate)},
 		{"render/center-camera", noSteps(benchRender)},
 		{"geom/project-full", noSteps(benchProject)},
 		{"geom/project-near", noSteps(benchProjectNear)},

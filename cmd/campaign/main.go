@@ -13,6 +13,7 @@ import (
 	"diverseav/internal/fi"
 	"diverseav/internal/lab"
 	"diverseav/internal/obs"
+	"diverseav/internal/report"
 	"diverseav/internal/scenario"
 	"diverseav/internal/sim"
 	"diverseav/internal/vm"
@@ -23,6 +24,7 @@ func main() {
 		scen      = flag.String("scenario", "LeadSlowdown", "scenario name")
 		target    = flag.String("target", "GPU", "fault target: CPU or GPU")
 		model     = flag.String("model", "permanent", "fault model: transient or permanent")
+		surface   = flag.String("surface", "", "fault surface: "+strings.Join(fi.SurfaceNames(), ",")+" (empty = instruction surface, the default)")
 		full      = flag.Bool("full", false, "paper-scale campaign (500 transient / 3 reps / 50 golden)")
 		seed      = flag.Uint64("seed", 7, "campaign seed")
 		td        = flag.Float64("td", 2, "trajectory-violation threshold, meters")
@@ -32,6 +34,11 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if err := report.ValidateNames("surface", []string{*surface}, fi.SurfaceNames()); err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(2)
+	}
 
 	sess, err := obs.StartTelemetry("campaign", *telemetry, *debugAddr)
 	if err != nil {
@@ -83,6 +90,7 @@ func main() {
 		Model:    mdl,
 		Sizes:    sizes,
 		Seed:     *seed,
+		Surface:  *surface,
 	}
 	// Require schedules through the DAG executor, which is what emits the
 	// per-job spans; the typed getter then hits the store.
@@ -97,7 +105,7 @@ func main() {
 		for _, r := range c.Runs {
 			d := sim.MaxTrajectoryDivergence(r.Result.Trace, c.Baseline)
 			fmt.Printf("  %-36s act=%-9d outcome=%-10s dpos=%6.2fm\n",
-				r.Plan, r.Result.Activations, r.Result.Trace.Outcome, d)
+				r.Label(), r.Result.Activations, r.Result.Trace.Outcome, d)
 		}
 	}
 	if err := sess.Close(os.Stderr); err != nil {

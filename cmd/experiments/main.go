@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"diverseav/internal/campaign"
+	"diverseav/internal/fi"
 	"diverseav/internal/grid"
 	"diverseav/internal/lab"
 	"diverseav/internal/obs"
@@ -32,6 +33,7 @@ import (
 func main() {
 	var (
 		exps       = flag.String("e", "all", "comma-separated experiments: "+strings.Join(report.ExperimentNames(), ",")+" (or all)")
+		surface    = flag.String("surface", "", "fault surface for every campaign: "+strings.Join(fi.SurfaceNames(), ",")+" (empty = instruction surface, the default)")
 		bench      = flag.Bool("bench", false, "use the small benchmark sizes")
 		full       = flag.Bool("full", false, "use the paper-scale campaign sizes")
 		seed       = flag.Uint64("seed", 2022, "study seed")
@@ -46,6 +48,18 @@ func main() {
 		lease      = flag.Duration("lease", 60*time.Second, "grid job lease (with -serve): a worker silent this long forfeits its leased jobs to the queue")
 	)
 	flag.Parse()
+
+	// Validate the name-list flags up front through the shared helper, so
+	// a typo exits 2 with the valid names before any telemetry, grid or
+	// simulation work starts.
+	if err := report.ValidateNames("experiment", strings.Split(*exps, ","), report.ExperimentNames(), "all"); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	if err := report.ValidateNames("surface", []string{*surface}, fi.SurfaceNames()); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
 
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
@@ -81,6 +95,7 @@ func main() {
 	o.Log = os.Stderr
 	o.NoSplice = *noSplice
 	o.LaneWidth = *laneWidth
+	o.Surface = *surface
 
 	l := lab.New()
 	if *cache != "" {

@@ -3,7 +3,8 @@
 // span counts by phase and cache status, total queue/exec time, the
 // per-node span counts of a merged grid ledger, the divergence-aware
 // run summary (simulated steps, splice and early-exit counts from the
-// per-run spans), and the metrics record. It exits
+// per-run spans), the per-fault-surface run-span tally, and the metrics
+// record. It exits
 // nonzero on the first invalid file, so CI can gate on the ledger
 // schema.
 package main
@@ -58,6 +59,7 @@ func check(path string, quiet bool) error {
 	caches := map[string]int{}
 	exits := map[string]int{}
 	nodes := map[string]int{}
+	surfaces := map[string]int{}
 	var spans int
 	var queueNs, execNs int64
 	var simSteps int64
@@ -78,6 +80,9 @@ func check(path string, quiet bool) error {
 			execNs += r.Span.ExecNs
 			if r.Span.ExitReason != "" {
 				exits[r.Span.ExitReason]++
+			}
+			if r.Span.Surface != "" {
+				surfaces[r.Span.Surface]++
 			}
 			if ss := r.Span.SimulatedSteps; len(ss) == 2 {
 				simSteps += int64(ss[1] - ss[0])
@@ -111,6 +116,13 @@ func check(path string, quiet bool) error {
 		fmt.Printf("  divergence: %d run spans, %d simulated steps", runs, simSteps)
 		for _, k := range sortedCounts(exits) {
 			fmt.Printf(", %d %s", exits[k], k)
+		}
+		fmt.Println()
+	}
+	if len(surfaces) > 0 {
+		fmt.Printf("  surfaces:")
+		for _, k := range sortedCounts(surfaces) {
+			fmt.Printf(" %d %s", surfaces[k], k)
 		}
 		fmt.Println()
 	}

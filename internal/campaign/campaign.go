@@ -137,6 +137,35 @@ func RunWithOptions(sc *scenario.Scenario, mode sim.Mode, target vm.Device, mode
 	return l.Campaign(spec)
 }
 
+// RunSurface executes one pluggable-surface fault-injection campaign
+// (surface must name a registered fi.SurfacePlanner: "sensorfault",
+// "hallucinate"; the empty string and "instr" select the legacy
+// instruction path, identical to RunWithOptions). Like RunWithOptions
+// it builds the equivalent lab.CampaignSpec and executes it in a
+// private lab; a nil golden set derives the campaign's conventional
+// private controls.
+func RunSurface(sc *scenario.Scenario, surface string, mode sim.Mode, target vm.Device, model fi.Model, sizes Sizes, seedBase uint64, golden []*sim.Result, opts Options) *Campaign {
+	l := lab.New()
+	l.RegisterScenario(sc)
+	spec := lab.CampaignSpec{
+		Scenario:        sc.Name,
+		Mode:            mode,
+		Target:          target,
+		Model:           model,
+		Sizes:           sizes,
+		Seed:            seedBase,
+		Surface:         surface,
+		CheckpointEvery: opts.CheckpointEvery,
+		DisableSplice:   opts.DisableSplice,
+		EarlyExit:       opts.EarlyExit,
+		LaneWidth:       opts.LaneWidth,
+	}
+	if golden != nil {
+		l.ProvideGolden(lab.GoldenSpec{Scenario: sc.Name, Mode: mode, N: sizes.Golden, Seed: seedBase + 1000}, golden)
+	}
+	return l.Campaign(spec)
+}
+
 // TrainDetector runs fault-free training experiments on the three long
 // routes in the given mode and trains a detector from them (§III-D: the
 // detector is trained only on long scenarios, never on the test

@@ -253,13 +253,19 @@ func NewPlanner(r *rng.Rand) *Planner {
 // IEEE-754 significand half or the high half with equal probability, so
 // both negligible and catastrophic corruptions occur.
 func (p *Planner) TransientPlans(target vm.Device, prof *Profile, n int) []Plan {
+	// Degenerate inputs plan nothing: a nil or empty profile means the
+	// target device executed no instructions (there is no stream to
+	// draw a dynamic index from), and n <= 0 asks for no plans. Both
+	// return an empty slice rather than panicking or emitting
+	// guaranteed-inactive DynIndex-0 plans that would each burn a full
+	// simulation.
+	if prof == nil || prof.InstrCount[target] == 0 || n <= 0 {
+		return []Plan{}
+	}
 	plans := make([]Plan, 0, n)
 	streamLen := prof.InstrCount[target]
 	for i := 0; i < n; i++ {
-		var dyn uint64
-		if streamLen > 0 {
-			dyn = 1 + p.r.Uint64()%streamLen
-		}
+		dyn := 1 + p.r.Uint64()%streamLen
 		plans = append(plans, Plan{
 			Target:   target,
 			Model:    Transient,
@@ -276,6 +282,9 @@ func (p *Planner) TransientPlans(target vm.Device, prof *Profile, n int) []Plan 
 // reps there; vm.NumOpcodes × reps here). Each repetition redraws the
 // bit position.
 func (p *Planner) PermanentPlans(target vm.Device, reps int) []Plan {
+	if reps <= 0 {
+		return []Plan{}
+	}
 	plans := make([]Plan, 0, vm.NumOpcodes*reps)
 	for rep := 0; rep < reps; rep++ {
 		for op := 0; op < vm.NumOpcodes; op++ {

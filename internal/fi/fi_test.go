@@ -194,12 +194,34 @@ func TestTransientPlansWithinStream(t *testing.T) {
 }
 
 func TestTransientPlansEmptyStream(t *testing.T) {
+	// An empty instruction stream has nothing to inject into: the
+	// planner returns no plans rather than never-activating ones.
 	var prof Profile
 	p := NewPlanner(rng.New(1))
-	plans := p.TransientPlans(vm.CPU, &prof, 5)
-	for _, pl := range plans {
-		if pl.DynIndex != 0 {
-			t.Error("empty stream should produce never-activating plans")
+	if plans := p.TransientPlans(vm.CPU, &prof, 5); len(plans) != 0 {
+		t.Errorf("empty stream produced %d plans, want 0", len(plans))
+	}
+}
+
+func TestPlannerDegenerateInputs(t *testing.T) {
+	prof := &Profile{}
+	prof.InstrCount[vm.GPU] = 1000
+	cases := []struct {
+		name  string
+		plans []Plan
+	}{
+		{"transient nil profile", NewPlanner(rng.New(3)).TransientPlans(vm.GPU, nil, 5)},
+		{"transient n=0", NewPlanner(rng.New(4)).TransientPlans(vm.GPU, prof, 0)},
+		{"transient n<0", NewPlanner(rng.New(5)).TransientPlans(vm.GPU, prof, -3)},
+		{"permanent reps=0", NewPlanner(rng.New(6)).PermanentPlans(vm.GPU, 0)},
+		{"permanent reps<0", NewPlanner(rng.New(7)).PermanentPlans(vm.CPU, -1)},
+	}
+	for _, c := range cases {
+		if c.plans == nil {
+			t.Errorf("%s: returned nil, want empty slice", c.name)
+		}
+		if len(c.plans) != 0 {
+			t.Errorf("%s: returned %d plans, want 0", c.name, len(c.plans))
 		}
 	}
 }

@@ -6,6 +6,12 @@ import (
 	"time"
 
 	"diverseav/internal/fi"
+
+	// The shipped fault surfaces register their planners on import;
+	// anything that runs campaigns through the lab can name them.
+	_ "diverseav/internal/fi/hallucinate"
+	_ "diverseav/internal/fi/sensorfault"
+
 	"diverseav/internal/geom"
 	"diverseav/internal/obs"
 	"diverseav/internal/par"
@@ -44,15 +50,28 @@ func FullSizes() Sizes {
 	return Sizes{Transient: 500, PermReps: 3, PermStride: 1, Golden: 50, Training: 4}
 }
 
-// RunRecord is one fault-injection experiment.
+// RunRecord is one fault-injection experiment. Plan is the
+// instruction-surface plan (zero for pluggable-surface campaigns, whose
+// plan is described by Desc — surface plans are interface values and
+// travel as their String form).
 type RunRecord struct {
 	Plan   fi.Plan
+	Desc   string
 	Result *sim.Result
 }
 
 // Activated reports whether the fault was actually injected (the paper's
 // "#Active").
 func (r RunRecord) Activated() bool { return r.Result.Activations > 0 }
+
+// Label describes the run's fault plan for logs and reports, whichever
+// surface it injected through.
+func (r RunRecord) Label() string {
+	if r.Desc != "" {
+		return r.Desc
+	}
+	return r.Plan.String()
+}
 
 // Campaign is one (target, model, scenario) fault-injection campaign
 // with its golden control runs.
@@ -61,8 +80,11 @@ type Campaign struct {
 	Mode         sim.Mode
 	Target       vm.Device
 	Model        fi.Model
-	Golden       []*sim.Result
-	Runs         []RunRecord
+	// Surface names the fault surface the campaign injected through; ""
+	// is the legacy instruction surface (fi.SurfaceInstr).
+	Surface string
+	Golden  []*sim.Result
+	Runs    []RunRecord
 	// Baseline is the mean golden trajectory (same mode), the reference
 	// for trajectory-violation labeling.
 	Baseline []geom.Vec2
@@ -118,6 +140,12 @@ const DefaultCheckpointEvery = 50
 // fault corrupts from the first instruction, so no prefix is fault-free,
 // nothing is shareable, and the fault is never quiescent.
 func runCampaign(l *Lab, s CampaignSpec) *Campaign {
+	if s.Surface != "" {
+		// Pluggable-surface campaigns plan in step space and fork from a
+		// plain checkpointed golden pass; the instruction path below
+		// (profile + dynamic-index planner) stays exactly as it was.
+		return runSurfaceCampaign(l, s)
+	}
 	sc := l.scenarioByName(s.Scenario)
 	seedBase := s.Seed
 	every := s.CheckpointEvery
@@ -184,6 +212,7 @@ func runCampaign(l *Lab, s CampaignSpec) *Campaign {
 			ExecNs:         execNs,
 			SimulatedSteps: []int{res.Exec.SimulatedFrom, res.Exec.SimulatedTo},
 			ExitReason:     res.Exec.ExitReason,
+			Surface:        obs.SurfaceInstr,
 		})
 	}
 	runSolo := func(i int) {
@@ -244,6 +273,195 @@ func runCampaign(l *Lab, s CampaignSpec) *Campaign {
 
 	c.Baseline = baselineOf(golden)
 	return c
+}
+
+// runSurfaceCampaign executes a pluggable-surface campaign spec: the
+// same NVBitFI-style structure as the instruction path — transient runs
+// replay the golden seed and fork/splice against a checkpointed golden
+// pass, permanent runs go cold with per-run seeds — but plans come from
+// the surface's own step-space planner (fi.SurfacePlanner) instead of
+// the instruction profile, and fork/detach points are the plans' Start
+// steps directly. No profiling pass is needed at all.
+func runSurfaceCampaign(l *Lab, s CampaignSpec) *Campaign {
+	sp, ok := fi.SurfaceByName(s.Surface)
+	if !ok {
+		panic(fmt.Sprintf("lab: campaign surface %q is not registered", s.Surface))
+	}
+	sc := l.scenarioByName(s.Scenario)
+	seedBase := s.Seed
+	every := s.CheckpointEvery
+	if every == 0 {
+		every = DefaultCheckpointEvery
+	}
+	steps := int(sc.Duration * sim.Hz)
+
+	n := s.Sizes.Transient
+	if s.Model == fi.Permanent {
+		n = s.Sizes.PermReps
+	}
+	plans := sp.Plans(rng.New(seedBase^0xfa017), nil, s.Target, s.Model, steps, s.Mode.Agents(), n)
+	if s.Model == fi.Permanent && s.Sizes.PermStride > 1 {
+		strided := plans[:0]
+		for i, p := range plans {
+			if i%s.Sizes.PermStride == 0 {
+				strided = append(strided, p)
+			}
+		}
+		plans = strided
+	}
+
+	var stream *sim.GoldenStream
+	var cps []*sim.Checkpoint
+	if s.Model == fi.Transient && every > 0 {
+		res := sim.Run(sim.Config{Scenario: sc, Mode: s.Mode, Seed: seedBase, CheckpointEvery: every})
+		stream = &sim.GoldenStream{Checkpoints: res.Checkpoints, Trace: res.Trace}
+		cps = res.Checkpoints
+	}
+	golden := l.Golden(s.Golden)
+
+	c := &Campaign{
+		ScenarioName: sc.Name,
+		Mode:         s.Mode,
+		Target:       s.Target,
+		Model:        s.Model,
+		Surface:      s.Surface,
+		Golden:       golden,
+		Runs:         make([]RunRecord, len(plans)),
+	}
+	ledger := l.Ledger()
+	specKey := ""
+	if ledger != nil {
+		specKey = s.Key()
+	}
+	emitRunSpan := func(i int, res *sim.Result, execNs int64) {
+		ledger.EmitSpan(obs.Span{
+			Key:            fmt.Sprintf("%s/run-%03d", specKey, i),
+			Phase:          "run",
+			Cache:          obs.CacheComputed,
+			ExecNs:         execNs,
+			SimulatedSteps: []int{res.Exec.SimulatedFrom, res.Exec.SimulatedTo},
+			ExitReason:     res.Exec.ExitReason,
+			Surface:        s.Surface,
+		})
+	}
+	runSolo := func(i int) {
+		plan := plans[i]
+		cfg := sim.Config{
+			Scenario: sc,
+			Mode:     s.Mode,
+			Surface:  plan,
+		}
+		var began time.Time
+		if ledger != nil {
+			began = time.Now()
+		}
+		var res *sim.Result
+		if s.Model == fi.Transient {
+			cfg.Seed = seedBase
+			cfg.Golden = stream
+			cfg.DisableSplice = s.DisableSplice
+			cfg.EarlyExitDivergence = s.EarlyExit
+			// Fork from the latest golden checkpoint at or before the
+			// plan's start step (windowed surface plans are
+			// step-decidable, so Start is the exact first step the fault
+			// can act).
+			var best *sim.Checkpoint
+			for _, cp := range cps {
+				if cp.Step > plan.Start() {
+					break
+				}
+				best = cp
+			}
+			if best != nil {
+				if forked, err := sim.RunFrom(best, cfg); err == nil {
+					obs.C("campaign.runs_forked").Inc()
+					res = forked
+				}
+			}
+		} else {
+			cfg.Seed = seedBase + 5000 + uint64(i)*104729
+		}
+		if res == nil {
+			obs.C("campaign.runs_cold").Inc()
+			res = sim.Run(cfg)
+		}
+		c.Runs[i] = RunRecord{Desc: plan.String(), Result: res}
+		if ledger != nil {
+			emitRunSpan(i, res, time.Since(began).Nanoseconds())
+		}
+	}
+	laneW := s.LaneWidth
+	if laneW == 0 {
+		laneW = DefaultLaneWidth
+	}
+	if laneW > vm.MaxLanes {
+		laneW = vm.MaxLanes
+	}
+	if s.Model == fi.Transient && every > 0 && laneW > 1 {
+		runSurfaceLaneGroups(c, s, sc, plans, stream, seedBase, laneW, runSolo, emitRunSpan, ledger != nil)
+	} else {
+		par.ForEach(len(plans), runSolo)
+	}
+	sim.ReleaseCheckpoints(cps)
+
+	c.Baseline = baselineOf(golden)
+	return c
+}
+
+// runSurfaceLaneGroups is the batched scheduler for pluggable-surface
+// transient campaigns: the detach step of each lane is its plan's Start
+// step — an exact bound, unlike the instruction path's conservative
+// profile mapping — so lanes starting together share one prefix replay
+// and lockstep their suffixes. Falls back to the solo fork path when a
+// group fails validation (pure strategy; identical results either way).
+func runSurfaceLaneGroups(c *Campaign, s CampaignSpec, sc *scenario.Scenario, plans []fi.SurfacePlan,
+	stream *sim.GoldenStream, seedBase uint64, laneW int,
+	runSolo func(int), emitRunSpan func(int, *sim.Result, int64), ledger bool) {
+
+	order := make([]int, len(plans))
+	for i := range plans {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return plans[order[a]].Start() < plans[order[b]].Start() })
+	nGroups := (len(order) + laneW - 1) / laneW
+	par.ForEach(nGroups, func(g int) {
+		lo := g * laneW
+		hi := lo + laneW
+		if hi > len(order) {
+			hi = len(order)
+		}
+		idxs := order[lo:hi]
+		cfgs := make([]sim.Config, len(idxs))
+		det := make([]int, len(idxs))
+		for k, i := range idxs {
+			cfgs[k] = sim.Config{
+				Scenario:            sc,
+				Mode:                s.Mode,
+				Seed:                seedBase,
+				Surface:             plans[i],
+				Golden:              stream,
+				DisableSplice:       s.DisableSplice,
+				EarlyExitDivergence: s.EarlyExit,
+			}
+			det[k] = plans[i].Start()
+		}
+		began := time.Now()
+		results, err := sim.RunLanesFrom(nil, cfgs, det)
+		if err != nil {
+			for _, i := range idxs {
+				runSolo(i)
+			}
+			return
+		}
+		obs.C("campaign.runs_batched").Add(uint64(len(idxs)))
+		perRunNs := time.Since(began).Nanoseconds() / int64(len(idxs))
+		for k, i := range idxs {
+			c.Runs[i] = RunRecord{Desc: plans[i].String(), Result: results[k]}
+			if ledger {
+				emitRunSpan(i, results[k], perRunNs)
+			}
+		}
+	})
 }
 
 // DefaultLaneWidth is the lane-group size of batched transient campaign
@@ -384,13 +602,18 @@ type Table1Row struct {
 	TrajViolates int // trajectory violation without accident, td = 2 m
 }
 
-// Table1Row aggregates the campaign at the paper's td = 2 m.
+// Table1Row aggregates the campaign at the paper's td = 2 m. For
+// pluggable-surface campaigns the Target column carries the surface
+// name — the hardware device is not the injection point there.
 func (c *Campaign) Table1Row(td float64) Table1Row {
 	row := Table1Row{
 		Target:   c.Target.String(),
 		Model:    c.Model.String(),
 		Scenario: c.ScenarioName,
 		Total:    len(c.Runs),
+	}
+	if c.Surface != "" {
+		row.Target = c.Surface
 	}
 	for _, r := range c.Runs {
 		if r.Activated() || r.Result.Trace.DUE() {

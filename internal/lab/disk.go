@@ -73,6 +73,11 @@ type wireGolden struct {
 type wireCampaign struct {
 	Plans   []fi.Plan
 	Results []wireResult
+	// Descs carries pluggable-surface plan descriptions (RunRecord.
+	// Desc), parallel to Results. nil for instruction-surface campaigns
+	// — gob omits zero fields by name, so legacy artifacts decode
+	// unchanged and instruction campaigns keep their minimal encoding.
+	Descs []string
 }
 
 type wireProfile struct {
@@ -116,9 +121,15 @@ func encodeArtifact(s Spec, key string, v any) ([]byte, error) {
 	case CampaignSpec:
 		c := v.(*Campaign)
 		w := wireCampaign{Plans: make([]fi.Plan, len(c.Runs)), Results: make([]wireResult, len(c.Runs))}
+		if c.Surface != "" {
+			w.Descs = make([]string, len(c.Runs))
+		}
 		for i, r := range c.Runs {
 			w.Plans[i] = r.Plan
 			w.Results[i] = wireResult{Trace: r.Result.Trace, Activations: r.Result.Activations}
+			if w.Descs != nil {
+				w.Descs[i] = r.Desc
+			}
 		}
 		err = enc.Encode(w)
 	case DetectorSpec:
@@ -208,18 +219,25 @@ func (l *Lab) decodeArtifact(s Spec, key string, data []byte) (any, error) {
 		if len(w.Plans) != len(w.Results) {
 			return nil, fmt.Errorf("torn campaign: %d plans, %d results", len(w.Plans), len(w.Results))
 		}
+		if w.Descs != nil && len(w.Descs) != len(w.Results) {
+			return nil, fmt.Errorf("torn campaign: %d descs, %d results", len(w.Descs), len(w.Results))
+		}
 		golden := l.Golden(s.Golden)
 		c := &Campaign{
 			ScenarioName: s.Scenario,
 			Mode:         s.Mode,
 			Target:       s.Target,
 			Model:        s.Model,
+			Surface:      s.norm().Surface,
 			Golden:       golden,
 			Runs:         make([]RunRecord, len(w.Plans)),
 			Baseline:     baselineOf(golden),
 		}
 		for i := range w.Plans {
 			c.Runs[i] = RunRecord{Plan: w.Plans[i], Result: &sim.Result{Trace: w.Results[i].Trace, Activations: w.Results[i].Activations}}
+			if w.Descs != nil {
+				c.Runs[i].Desc = w.Descs[i]
+			}
 		}
 		return c, nil
 	case DetectorSpec:

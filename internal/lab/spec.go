@@ -199,9 +199,22 @@ type CampaignSpec struct {
 	// to the canonical string only when set, preserving every existing
 	// key.
 	EarlyExit float64
+	// Surface selects the fault surface the campaign injects through:
+	// "" or "instr" is the instruction-level XOR injector (the legacy
+	// default — both normalize to the same spec, and the zero value
+	// keys byte-identically to the pre-surface hash); any other value
+	// must name a registered fi.SurfacePlanner ("sensorfault",
+	// "hallucinate"). Part of Key(), appended to the canonical string
+	// only when set.
+	Surface string
 }
 
 func (s CampaignSpec) norm() CampaignSpec {
+	if s.Surface == fi.SurfaceInstr {
+		// The named instruction surface IS the legacy default: collapse
+		// to the zero value so both spell the same artifact.
+		s.Surface = ""
+	}
 	if s.Seed == 0 {
 		s.Seed = deriveSeed(fmt.Sprintf("campaign|%s|%s|%s|%s|tr=%d|reps=%d|stride=%d",
 			s.Scenario, s.Mode, s.Target, s.Model, s.Sizes.Transient, s.Sizes.PermReps, s.Sizes.PermStride))
@@ -220,6 +233,9 @@ func (s CampaignSpec) canon() string {
 	if s.EarlyExit > 0 {
 		c += fmt.Sprintf("|exit=%g", s.EarlyExit)
 	}
+	if s.Surface != "" {
+		c += "|surface=" + s.Surface
+	}
 	return c
 }
 
@@ -228,6 +244,9 @@ func (s CampaignSpec) canon() string {
 // key, and training size never influences a campaign.
 func (s CampaignSpec) Key() string {
 	n := s.norm()
+	if n.Surface != "" {
+		return fmt.Sprintf("campaign-%s-%s-%s-%s-%s-%s", n.Surface, n.Scenario, n.Mode, n.Target, n.Model, fnvSum(n.canon()))
+	}
 	return fmt.Sprintf("campaign-%s-%s-%s-%s-%s", n.Scenario, n.Mode, n.Target, n.Model, fnvSum(n.canon()))
 }
 
@@ -236,10 +255,11 @@ func (s CampaignSpec) kind() string    { return "campaign" }
 
 func (s CampaignSpec) deps() []Spec {
 	d := []Spec{s.Golden}
-	if s.Model == fi.Permanent || s.CheckpointEvery < 0 {
+	if s.Surface == "" && (s.Model == fi.Permanent || s.CheckpointEvery < 0) {
 		// These paths plan against a plain (checkpoint-free) profiling
 		// pass, a shareable artifact. Fork-executed transient campaigns
-		// profile privately — see ProfileSpec.
+		// profile privately — see ProfileSpec. Non-instruction surfaces
+		// plan in step space and never need an instruction profile.
 		d = append(d, ProfileSpec{Scenario: s.Scenario, Mode: s.Mode, Seed: s.Seed})
 	}
 	return d

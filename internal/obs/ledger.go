@@ -31,10 +31,27 @@ const (
 // added the per-run span fields (simulated_steps, exit_reason) for
 // divergence-aware campaign execution; version 3 added the node field
 // on meta and span records so a grid coordinator can merge its workers'
-// ledgers into one stream with per-process identity. Readers accept
-// every version up to this one: older ledgers simply lack the newer
-// optional fields.
-const SchemaVersion = 3
+// ledgers into one stream with per-process identity; version 4 added
+// the surface field on run spans, naming the fault surface the run
+// injected through. Readers accept every version up to this one: older
+// ledgers simply lack the newer optional fields.
+const SchemaVersion = 4
+
+// Fault-surface names a run span may carry (Span.Surface). These are
+// the ledger vocabulary for internal/fi's pluggable surfaces — declared
+// here, like the exit reasons, because obs sits below fi in the import
+// order and the validator needs the closed set.
+const (
+	// SurfaceInstr is the instruction-level XOR injector (the paper's
+	// NVBitFI/PinFI analogue, fi/instr).
+	SurfaceInstr = "instr"
+	// SurfaceSensor is AVFI-style sensor frame corruption between the
+	// cameras and the agents (fi/sensorfault).
+	SurfaceSensor = "sensorfault"
+	// SurfaceHallucinate is perception-interface perturbation of the
+	// vision planner's outputs (fi/hallucinate).
+	SurfaceHallucinate = "hallucinate"
+)
 
 // Exit reasons a divergence-aware run span can carry. An empty reason
 // means the run simulated to its natural end.
@@ -92,6 +109,10 @@ type Span struct {
 	// ExitReason is why simulation stopped short of the scenario end:
 	// ExitSplice or ExitEarly. Empty for full-length runs.
 	ExitReason string `json:"exit_reason,omitempty"`
+	// Surface names the fault surface a run span injected through
+	// (phase "run" only; schema >= 4): SurfaceInstr, SurfaceSensor, or
+	// SurfaceHallucinate. Empty in older ledgers and on job spans.
+	Surface string `json:"surface,omitempty"`
 	// Node identifies the process that executed this span in a merged
 	// multi-process ledger (schema >= 3); see Meta.Node. Worker within
 	// that process stays in the Worker field.
@@ -314,6 +335,11 @@ func Validate(recs []Record) error {
 			case "", ExitSplice, ExitEarly:
 			default:
 				return fmt.Errorf("ledger record %d: unknown exit_reason %q", n, s.ExitReason)
+			}
+			switch s.Surface {
+			case "", SurfaceInstr, SurfaceSensor, SurfaceHallucinate:
+			default:
+				return fmt.Errorf("ledger record %d: unknown surface %q", n, s.Surface)
 			}
 		case RecordMetrics:
 			if len(rec.Metrics) == 0 {

@@ -11,25 +11,30 @@ import (
 type section struct {
 	name  string
 	study bool
-	fn    func(o Options, s *Study) string
+	// explicit sections never ride along with "all": they run campaigns
+	// beyond the golden report's manifest, so selecting them must be a
+	// deliberate act (and the "all" report stays byte-stable).
+	explicit bool
+	fn       func(o Options, s *Study) string
 }
 
 // sections fixes the report's section order; Generate emits selected
 // sections in exactly this order regardless of how they were requested.
 var sections = []section{
-	{"fig5a", false, func(o Options, _ *Study) string { return Fig5a(o) }},
-	{"fig5b", false, func(o Options, _ *Study) string { return Fig5b(o) }},
-	{"fig2", false, func(o Options, _ *Study) string { return Fig2(o) }},
-	{"fig6", false, func(o Options, _ *Study) string { return Fig6(o) }},
-	{"table2", false, func(o Options, _ *Study) string { return Table2(o) }},
-	{"overlap", false, func(o Options, _ *Study) string { return AblationOverlap(o) }},
-	{"eccoff", false, func(o Options, _ *Study) string { return AblationECCOff(o) }},
-	{"table1", true, func(_ Options, s *Study) string { return s.Table1() }},
-	{"fig7", true, func(_ Options, s *Study) string { return s.Fig7() }},
-	{"fig8", true, func(_ Options, s *Study) string { return s.Fig8() }},
-	{"missed", true, func(_ Options, s *Study) string { return s.MissedHazards() }},
-	{"compare", true, func(_ Options, s *Study) string { return s.Comparisons() }},
-	{"ablation", true, func(_ Options, s *Study) string { return s.AblationDetector() }},
+	{"fig5a", false, false, func(o Options, _ *Study) string { return Fig5a(o) }},
+	{"fig5b", false, false, func(o Options, _ *Study) string { return Fig5b(o) }},
+	{"fig2", false, false, func(o Options, _ *Study) string { return Fig2(o) }},
+	{"fig6", false, false, func(o Options, _ *Study) string { return Fig6(o) }},
+	{"table2", false, false, func(o Options, _ *Study) string { return Table2(o) }},
+	{"overlap", false, false, func(o Options, _ *Study) string { return AblationOverlap(o) }},
+	{"eccoff", false, false, func(o Options, _ *Study) string { return AblationECCOff(o) }},
+	{"table1", true, false, func(_ Options, s *Study) string { return s.Table1() }},
+	{"fig7", true, false, func(_ Options, s *Study) string { return s.Fig7() }},
+	{"fig8", true, false, func(_ Options, s *Study) string { return s.Fig8() }},
+	{"missed", true, false, func(_ Options, s *Study) string { return s.MissedHazards() }},
+	{"compare", true, false, func(_ Options, s *Study) string { return s.Comparisons() }},
+	{"ablation", true, false, func(_ Options, s *Study) string { return s.AblationDetector() }},
+	{"surfaces", false, true, func(o Options, _ *Study) string { return Surfaces(o) }},
 }
 
 // ExperimentNames lists the valid section selectors in report order
@@ -42,39 +47,61 @@ func ExperimentNames() []string {
 	return names
 }
 
+// ValidateNames checks every requested name against the valid list plus
+// any extra accepted shorthands. Blank entries are ignored. A non-nil
+// error names the sorted unknown entries and the full accepted list —
+// the exact message the CLI tools print before exiting 2, shared by the
+// -e and -surface flags.
+func ValidateNames(what string, requested, valid []string, extras ...string) error {
+	ok := make(map[string]bool, len(valid)+len(extras))
+	for _, n := range valid {
+		ok[n] = true
+	}
+	for _, n := range extras {
+		ok[n] = true
+	}
+	seen := map[string]bool{}
+	var unknown []string
+	for _, n := range requested {
+		if n = strings.TrimSpace(n); n != "" && !ok[n] && !seen[n] {
+			seen[n] = true
+			unknown = append(unknown, n)
+		}
+	}
+	if len(unknown) == 0 {
+		return nil
+	}
+	sort.Strings(unknown)
+	accepted := strings.Join(valid, ", ")
+	if len(extras) > 0 {
+		accepted += ", " + strings.Join(extras, ", ")
+	}
+	return fmt.Errorf("unknown %s(s): %s (valid: %s)",
+		what, strings.Join(unknown, ", "), accepted)
+}
+
 // Generate renders the requested report sections ("all" selects every
-// section) in the fixed report order and returns the combined text.
-// Unknown names are an error listing the valid ones. The study behind
-// the campaign-based sections is built at most once, against o.Lab when
-// set — so selecting several study sections shares one set of campaigns,
-// and a warm disk cache makes the whole call simulation-free.
+// non-explicit section) in the fixed report order and returns the
+// combined text. Unknown names are an error listing the valid ones. The
+// study behind the campaign-based sections is built at most once,
+// against o.Lab when set — so selecting several study sections shares
+// one set of campaigns, and a warm disk cache makes the whole call
+// simulation-free.
 func Generate(o Options, names []string) (string, error) {
+	if err := ValidateNames("experiment", names, ExperimentNames(), "all"); err != nil {
+		return "", err
+	}
 	want := map[string]bool{}
 	for _, n := range names {
 		if n = strings.TrimSpace(n); n != "" {
 			want[n] = true
 		}
 	}
-	valid := map[string]bool{"all": true}
-	for _, s := range sections {
-		valid[s.name] = true
-	}
-	var unknown []string
-	for n := range want {
-		if !valid[n] {
-			unknown = append(unknown, n)
-		}
-	}
-	if len(unknown) > 0 {
-		sort.Strings(unknown)
-		return "", fmt.Errorf("unknown experiment(s): %s (valid: %s, all)",
-			strings.Join(unknown, ", "), strings.Join(ExperimentNames(), ", "))
-	}
 	all := want["all"]
 	var b strings.Builder
 	var study *Study
 	for _, sec := range sections {
-		if !all && !want[sec.name] {
+		if !want[sec.name] && !(all && !sec.explicit) {
 			continue
 		}
 		o.logf("== %s", sec.name)

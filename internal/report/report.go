@@ -50,6 +50,11 @@ type Options struct {
 	// injection solo. Reports are byte-identical either way (the
 	// lane-equivalence invariant); the CI batch smoke test A/Bs it.
 	LaneWidth int
+	// Surface selects the fault surface of every campaign in the study
+	// (see fi.SurfaceNames). The empty string selects the legacy
+	// instruction surface, keeping every artifact key and report byte
+	// identical to pre-surface builds.
+	Surface string
 }
 
 // DefaultOptions is the scale used by cmd/experiments.
@@ -118,7 +123,7 @@ func buildSpecs(o Options) studySpecs {
 				sp.rr = append(sp.rr, lab.CampaignSpec{
 					Scenario: sc.Name, Mode: sim.RoundRobin, Target: target, Model: model,
 					Sizes: o.Sizes, Seed: base + uint64(target)*31 + uint64(model)*57, Golden: goldenRR,
-					DisableSplice: o.NoSplice, LaneWidth: o.LaneWidth,
+					DisableSplice: o.NoSplice, LaneWidth: o.LaneWidth, Surface: o.Surface,
 				})
 			}
 		}
@@ -130,12 +135,12 @@ func buildSpecs(o Options) studySpecs {
 			sp.fd = append(sp.fd, lab.CampaignSpec{
 				Scenario: sc.Name, Mode: sim.Duplicate, Target: vm.GPU, Model: model,
 				Sizes: o.Sizes, Seed: base + 4000 + uint64(model), Golden: goldenFD,
-				DisableSplice: o.NoSplice, LaneWidth: o.LaneWidth,
+				DisableSplice: o.NoSplice, LaneWidth: o.LaneWidth, Surface: o.Surface,
 			})
 			sp.single = append(sp.single, lab.CampaignSpec{
 				Scenario: sc.Name, Mode: sim.Single, Target: vm.GPU, Model: model,
 				Sizes: o.Sizes, Seed: base + 5000 + uint64(model), Golden: goldenSG,
-				DisableSplice: o.NoSplice, LaneWidth: o.LaneWidth,
+				DisableSplice: o.NoSplice, LaneWidth: o.LaneWidth, Surface: o.Surface,
 			})
 		}
 	}

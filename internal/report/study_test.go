@@ -41,7 +41,7 @@ func TestGenerateEmptySelection(t *testing.T) {
 // TestExperimentNames pins the selector list and its report order.
 func TestExperimentNames(t *testing.T) {
 	got := strings.Join(ExperimentNames(), ",")
-	want := "fig5a,fig5b,fig2,fig6,table2,overlap,eccoff,table1,fig7,fig8,missed,compare,ablation"
+	want := "fig5a,fig5b,fig2,fig6,table2,overlap,eccoff,table1,fig7,fig8,missed,compare,ablation,surfaces"
 	if got != want {
 		t.Errorf("ExperimentNames() = %s, want %s", got, want)
 	}

@@ -19,11 +19,14 @@ var cohortRuns atomic.Uint64
 // RunLanesFrom executes a group of transient injection runs as lockstep
 // lanes sharing one fault-free prefix. Each lane i is the run Config
 // cfgs[i] would produce cold; detach[i] is a step at or before the
-// lane's fault can first act (the planner maps the plan's dynamic
-// instruction index through the golden profile — a conservative-early
-// bound, since the machine's writeback counter is bounded by its
-// architectural counter), or -1 for a lane whose fault provably never
-// activates in this run.
+// lane's fault can first act, or -1 for a lane whose fault provably
+// never activates in this run. For instruction-surface lanes (Config.
+// Fault) the planner maps the plan's dynamic instruction index through
+// the golden profile — a conservative-early bound, since the machine's
+// writeback counter is bounded by its architectural counter. For
+// pluggable-surface lanes (Config.Surface) the plan's Start() step is
+// the bound directly; plans without a decidable start (Start() < 0)
+// are rejected and must run solo.
 //
 // Execution strategy, with the per-step work shared across lanes:
 //
@@ -38,7 +41,7 @@ var cohortRuns atomic.Uint64
 //     agent execution batched through vm.RunLanes (agent.StepLanes) so
 //     instruction decode is amortized over the cohort. Reconvergence
 //     splicing and early-exit verdicts compose per lane, and a lane
-//     whose injectors go quiescent drops its hooks (Config.
+//     whose fault surface goes quiescent drops its hooks (Config.
 //     laneHookRelease) to rejoin the hook-free fast path.
 //
 // The hard invariant — pinned by the lane-equivalence matrix — is that
@@ -60,8 +63,25 @@ func RunLanesFrom(cp *Checkpoint, cfgs []Config, detach []int) ([]*Result, error
 	for i := range cfgs {
 		c := &cfgs[i]
 		switch {
-		case c.Fault == nil || c.Fault.Model != fi.Transient:
+		case c.Fault != nil && c.Surface != nil:
+			return nil, fmt.Errorf("sim: RunLanesFrom: lane %d sets both Fault and Surface", i)
+		case c.Fault == nil && c.Surface == nil:
+			return nil, fmt.Errorf("sim: RunLanesFrom: lane %d is not an injection run", i)
+		case c.Fault != nil && c.Fault.Model != fi.Transient:
 			return nil, fmt.Errorf("sim: RunLanesFrom: lane %d is not a transient injection run", i)
+		case c.Surface != nil && c.Surface.Start() < 0:
+			// A surface whose first possible activation step is unknown
+			// has no provable detach bound; such plans must run solo
+			// (the instruction surface instead comes in through Fault,
+			// with the profile-derived detach the planner computed).
+			return nil, fmt.Errorf("sim: RunLanesFrom: lane %d surface plan has no decidable start step", i)
+		case c.Surface != nil && detach[i] < 0:
+			// The never-activating proof (clone the golden trace) is
+			// only established for instruction-surface plans, via the
+			// machine's bounded writeback counter.
+			return nil, fmt.Errorf("sim: RunLanesFrom: lane %d surface lane cannot be golden-cloned", i)
+		case c.Surface != nil && detach[i] > c.Surface.Start():
+			return nil, fmt.Errorf("sim: RunLanesFrom: lane %d detaches at step %d after surface start %d", i, detach[i], c.Surface.Start())
 		case c.Profile != nil || c.StepHook != nil || c.MemFault != nil:
 			return nil, fmt.Errorf("sim: RunLanesFrom: lane %d carries a profile, step hook, or memory fault", i)
 		case c.CheckpointEvery > 0:
@@ -117,6 +137,7 @@ func RunLanesFrom(cp *Checkpoint, cfgs []Config, detach []int) ([]*Result, error
 	// state (fork-equivalence), and one replay serves the whole group.
 	packCfg := *base
 	packCfg.Fault = nil
+	packCfg.Surface = nil
 	packCfg.FaultAgent = 0
 	packCfg.Golden = nil
 	packCfg.DisableSplice = false
@@ -304,7 +325,7 @@ func runCohort(cfgs []Config, snap *Checkpoint, start int) ([]*Result, error) {
 					res[i] = ln.finish(start)
 					live--
 				} else {
-					ln.applyAgentOut(id, step, outs[k])
+					ln.applyAgentOut(id, step, inPtrs[k], &outs[k])
 				}
 			}
 		}
@@ -319,7 +340,7 @@ func runCohort(cfgs []Config, snap *Checkpoint, start int) ([]*Result, error) {
 				live--
 				continue
 			}
-			ln.maybeReleaseHooks()
+			ln.maybeReleaseHooks(step)
 		}
 	}
 	for i, ln := range lanes {

@@ -207,7 +207,7 @@ func TestRunLanesFromValidation(t *testing.T) {
 	}{
 		{"empty", nil, nil, "0 configs"},
 		{"length-mismatch", []Config{ok}, []int{1, 2}, "detach steps"},
-		{"no-fault", []Config{{Scenario: sc}}, []int{0}, "not a transient"},
+		{"no-fault", []Config{{Scenario: sc}}, []int{0}, "not an injection run"},
 		{"permanent", []Config{{Scenario: sc, Fault: &perm}}, []int{0}, "not a transient"},
 		{"checkpointing-lane", []Config{func() Config { c := ok; c.CheckpointEvery = 10; return c }()}, []int{0}, "emits checkpoints"},
 		{"identity", []Config{ok, func() Config { c := ok; c.Seed = 2; return c }()}, []int{0, 0}, "run identity"},

@@ -23,7 +23,7 @@ import (
 // What is captured: scenario state (ego + NPC followers, script Phase
 // flags, the scenario RNG), the IMU and duplicate-jitter RNG streams,
 // every agent machine (memory, register files, dynamic instruction
-// counters), injector activation counts, the control/fusion latches,
+// counters), fault-surface activation counters, the control/fusion latches,
 // the ego route-projection cursor, and the trace prefix.
 //
 // What is deliberately NOT captured: camera frames and render scratch
@@ -129,8 +129,8 @@ func (r *runner) snapshot(step int) *Checkpoint {
 		cp.Agents[i] = ag.SnapshotInto(cp.Agents[i])
 	}
 	cp.Activations = cp.Activations[:0]
-	for _, inj := range r.injectors {
-		cp.Activations = append(cp.Activations, inj.Snapshot())
+	if r.surface != nil {
+		cp.Activations = append(cp.Activations, r.surface.Snapshot()...)
 	}
 	return cp
 }
@@ -148,14 +148,12 @@ func (r *runner) restore(cp *Checkpoint) error {
 	for i, ag := range r.agents {
 		ag.Restore(cp.Agents[i])
 	}
-	// An injection fork typically has injectors the golden pass did not
-	// (cp.Activations empty → every injector keeps zero, correct for a
-	// fault that has not fired in the fault-free prefix); a checkpointed
-	// faulty run restores its own counts positionally.
-	for i, inj := range r.injectors {
-		if i < len(cp.Activations) {
-			inj.Restore(cp.Activations[i])
-		}
+	// An injection fork typically arms a surface the golden pass did not
+	// (cp.Activations empty → the surface keeps zero counters, correct
+	// for a fault that has not fired in the fault-free prefix); a
+	// checkpointed faulty run restores its own counts positionally.
+	if r.surface != nil {
+		r.surface.Restore(cp.Activations)
 	}
 	r.imu.Restore(cp.IMU)
 	r.jitter.Restore(cp.Jitter)
@@ -196,6 +194,16 @@ func RunFrom(cp *Checkpoint, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("sim: RunFrom: profiling requires a cold run")
 	case cfg.MemFault != nil && cfg.MemFault.Step < cp.Step:
 		return nil, fmt.Errorf("sim: RunFrom: memory fault at step %d precedes checkpoint step %d", cfg.MemFault.Step, cp.Step)
+	case cfg.Fault != nil && cfg.Surface != nil:
+		return nil, fmt.Errorf("sim: RunFrom: Fault and Surface are mutually exclusive")
+	case cfg.Surface != nil && cfg.Surface.Start() >= 0 && cfg.Surface.Start() < cp.Step:
+		// A surface fault whose window opens before the checkpoint would
+		// have acted during the skipped prefix: the fork would silently
+		// miss those activations. Step-decidable surfaces are validated
+		// here; the instruction surface (Start() < 0) stays the caller's
+		// responsibility, exactly as cfg.Fault always was (the campaign
+		// layer picks fork points from the activation-step profile).
+		return nil, fmt.Errorf("sim: RunFrom: surface fault starts at step %d before checkpoint step %d", cfg.Surface.Start(), cp.Step)
 	}
 	r := newRunner(cfg)
 	if err := r.restore(cp); err != nil {

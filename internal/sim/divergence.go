@@ -143,12 +143,15 @@ func (r *runner) stateEquals(cp *Checkpoint) bool {
 
 // spliceSafe reports whether grafting the golden suffix at the top of
 // `step` could be sound, before any state comparison: every pending
-// fault source must be provably spent. A transient injector must be
-// quiescent (fired, or its DynIndex already passed — fi.Quiescent); a
-// permanent injector never is. A pending memory fault (step >= current)
-// and a StepHook (an observer the golden pass did not run) both block
-// splicing; a profiling run must observe its whole stream and never
-// splices.
+// fault source must be provably spent. The fault surface answers
+// through Quiescent(step) — can the fault still act at any step >=
+// step? For the instruction surface that is the fi.Injector probe (a
+// transient that fired, or whose DynIndex the machine counter already
+// passed; a permanent injector never is); for windowed surfaces it is
+// the window having closed before `step`. A pending memory fault
+// (step >= current) and a StepHook (an observer the golden pass did
+// not run) both block splicing; a profiling run must observe its whole
+// stream and never splices.
 func (r *runner) spliceSafe(step int) bool {
 	cfg := &r.cfg
 	if cfg.Profile != nil || cfg.StepHook != nil {
@@ -157,11 +160,8 @@ func (r *runner) spliceSafe(step int) bool {
 	if mf := cfg.MemFault; mf != nil && step <= mf.Step {
 		return false
 	}
-	for k, inj := range r.injectors {
-		mach := r.agents[r.injAgents[k]].Machine()
-		if !inj.Quiescent(mach.InstrCount(inj.Plan().Target)) {
-			return false
-		}
+	if r.surface != nil && !r.surface.Quiescent(step) {
+		return false
 	}
 	return true
 }
@@ -216,7 +216,7 @@ func (r *runner) splice(step, start int) *Result {
 	tr.InstrGPU = g.InstrGPU
 	res := &Result{
 		Trace:       tr,
-		Activations: totalActivations(r.injectors),
+		Activations: surfaceActivations(r.surface),
 		Checkpoints: r.checkpoints,
 		Exec: ExecInfo{
 			SimulatedFrom: start,

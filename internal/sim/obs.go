@@ -113,7 +113,7 @@ func (r *runner) publishRun(res *Result) {
 	if res.Trace.DUE() {
 		in.dues.Inc()
 	}
-	if len(r.injectors) > 0 {
+	if r.surface != nil {
 		in.faultRuns.Inc()
 	}
 	in.activations.Add(res.Activations)

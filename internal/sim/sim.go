@@ -11,6 +11,7 @@ import (
 
 	"diverseav/internal/agent"
 	"diverseav/internal/fi"
+	"diverseav/internal/fi/instr"
 	"diverseav/internal/geom"
 	"diverseav/internal/par"
 	"diverseav/internal/physics"
@@ -68,9 +69,16 @@ type Config struct {
 	// Fault, when non-nil, is injected: a transient plan attaches to
 	// FaultAgent's machine only (a transient fault strikes one process),
 	// a permanent plan attaches to every agent's machine (the processor
-	// is shared, §VI-A).
+	// is shared, §VI-A). Fault is the instruction surface's legacy
+	// doorway — internally it is adapted to a Surface (fi/instr) and the
+	// runner arms that; the two fields are mutually exclusive.
 	Fault      *fi.Plan
 	FaultAgent int
+	// Surface, when non-nil, injects through a pluggable fault surface
+	// (fi.SurfacePlan): sensor-frame corruption, perception-interface
+	// perturbation, or any registered surface. Mutually exclusive with
+	// Fault, which covers the instruction surface.
+	Surface fi.SurfacePlan
 	// Profile, when non-nil, records the fault-free instruction profile
 	// of agent 0 (used by planners). Mutually exclusive with Fault.
 	Profile *fi.Profile
@@ -168,19 +176,26 @@ type Result struct {
 // parameters — then overwrites every piece of mutable state from the
 // checkpoint and resumes the loop mid-run.
 type runner struct {
-	cfg       Config
-	env       *scenario.Env
-	imu       *sensor.IMU
-	jitter    *rng.Rand
-	agents    []*agent.Agent
-	injectors []*fi.Injector
-	// injAgents[k] is the agent index injectors[k] is attached to (the
-	// quiescence probe reads that machine's instruction counter).
-	injAgents []int
-	golden    *GoldenStream
-	earlyExit bool
-	tr        *trace.Trace
-	steps     int
+	cfg    Config
+	env    *scenario.Env
+	imu    *sensor.IMU
+	jitter *rng.Rand
+	agents []*agent.Agent
+	// surface is the armed fault surface (nil on fault-free runs):
+	// Config.Fault adapted through fi/instr, or Config.Surface
+	// instantiated. All fault mechanics — quiescence for the splice
+	// gate, activation counters, checkpoint snapshot/restore, hook
+	// release — go through this interface.
+	surface fi.Surface
+	// frameHooks/outputHooks are the interception points a surface
+	// registered when it armed (sensor-frame corruption and
+	// perception-output perturbation respectively).
+	frameHooks  []fi.FrameHook
+	outputHooks []fi.OutputHook
+	golden      *GoldenStream
+	earlyExit   bool
+	tr          *trace.Trace
+	steps       int
 	// start is the first step this runner simulates (0 for a cold run,
 	// the fork/detach step otherwise); set by run and by the cohort loop.
 	start int
@@ -207,16 +222,42 @@ type runner struct {
 	checkpoints []*Checkpoint
 	renderCam   func(i int)
 	// Per-step scratch handed from stepWorld to stepAgents/stepFinish,
-	// fully rewritten each step.
+	// fully rewritten each step. stepIn is the solo loop's reusable
+	// agent-input buffer: it lives on the runner so handing its address
+	// through the output-hook indirection cannot force a per-step heap
+	// escape (the cohort loop keeps its own input slice instead).
 	stepReading sensor.IMUGPS
 	stepLimit   float64
 	stepCmds    [2]trace.Cmd
+	stepIn      agent.Input
+	stepOut     agent.Output
 }
 
 // Run executes one experiment synchronously and returns its result.
 func Run(cfg Config) *Result {
 	return newRunner(cfg).run(0)
 }
+
+// harness exposes the runner's attachment points to an arming fault
+// surface (fi.Harness). A separate view type keeps the hook-
+// registration API off the runner's own method set.
+type harness runner
+
+// Agents is the number of agent instances this run executes.
+func (h *harness) Agents() int { return len(h.agents) }
+
+// SharedProcessor: every mode except the FD baseline's dedicated
+// replicas runs its agents on one shared processor (§VI-A).
+func (h *harness) SharedProcessor() bool { return h.cfg.Mode != Duplicate }
+
+// Machine returns agent i's compute fabric.
+func (h *harness) Machine(i int) *vm.Machine { return h.agents[i].Machine() }
+
+// OnFrames registers a sensor-frame corruption hook.
+func (h *harness) OnFrames(hook fi.FrameHook) { h.frameHooks = append(h.frameHooks, hook) }
+
+// OnOutput registers a perception-output perturbation hook.
+func (h *harness) OnOutput(hook fi.OutputHook) { h.outputHooks = append(h.outputHooks, hook) }
 
 // newRunner instantiates the scenario and wires sensors, agents, fault
 // hooks, the trace, and the reusable scratch for one run.
@@ -229,29 +270,27 @@ func newRunner(cfg Config) *runner {
 
 	nAgents := cfg.Mode.Agents()
 	r.agents = make([]*agent.Agent, nAgents)
-	r.injectors = make([]*fi.Injector, 0, nAgents)
 	for i := range r.agents {
 		r.agents[i] = agent.New(agentName(i))
 		if cfg.ForceVMTier0 {
 			r.agents[i].Machine().SetMaxTier(0)
 		}
-		switch {
-		case cfg.Fault != nil:
-			// A transient fault strikes one process. A permanent fault
-			// strikes the shared processor, so in round-robin (and
-			// single) mode it reaches every agent; the FD baseline's
-			// agents run on dedicated processors, so there it strikes
-			// only one replica (§VI-B).
-			shared := cfg.Fault.Model == fi.Permanent && cfg.Mode != Duplicate
-			if shared || i == cfg.FaultAgent%nAgents {
-				inj := fi.NewInjector(*cfg.Fault)
-				r.agents[i].Machine().SetFaultHook(inj.Hook)
-				r.injectors = append(r.injectors, inj)
-				r.injAgents = append(r.injAgents, i)
-			}
-		case cfg.Profile != nil && i == 0:
-			r.agents[i].Machine().SetFaultHook(cfg.Profile.Observe())
-		}
+	}
+	// Fault arming goes through the pluggable-surface interface: the
+	// legacy Fault plan is adapted to the instruction surface (which
+	// reproduces the pre-refactor per-agent reach: a transient fault
+	// strikes one process, a permanent fault the shared processor —
+	// every agent except in the FD baseline's dedicated-replica mode,
+	// §VI-B); Config.Surface arms whatever surface the plan names.
+	switch {
+	case cfg.Fault != nil:
+		r.surface = instr.FromFault(*cfg.Fault, cfg.FaultAgent).New()
+		r.surface.Arm((*harness)(r))
+	case cfg.Surface != nil:
+		r.surface = cfg.Surface.New()
+		r.surface.Arm((*harness)(r))
+	case cfg.Profile != nil:
+		r.agents[0].Machine().SetFaultHook(cfg.Profile.Observe())
 	}
 
 	noiseStd := 1.2
@@ -266,8 +305,11 @@ func newRunner(cfg Config) *runner {
 		Hz:       Hz,
 		Outcome:  trace.OutcomeCompleted,
 	}
-	if cfg.Fault != nil {
+	switch {
+	case cfg.Fault != nil:
 		r.tr.Fault = cfg.Fault.String()
+	case cfg.Surface != nil:
+		r.tr.Fault = cfg.Surface.String()
 	}
 
 	r.golden = cfg.Golden
@@ -334,7 +376,7 @@ func (r *runner) stepOnce(step int) *Result {
 	if res := r.stepFinish(step); res != nil {
 		return res
 	}
-	r.maybeReleaseHooks()
+	r.maybeReleaseHooks(step)
 	return nil
 }
 
@@ -366,6 +408,14 @@ func (r *runner) stepWorld(step int) {
 	}
 	r.stepReading = r.imu.Read(env.Ego.State)
 	r.stepLimit = env.Route.LimitAt(st0)
+	// Sensor-surface faults corrupt the rendered frames here, between
+	// the sensor and the distributor: every agent that receives this
+	// step's frame sees the corrupted bytes, exactly like a faulty
+	// camera link. (StepHook observers therefore see them too — the
+	// visualizer shows what the agents saw.)
+	for _, hook := range r.frameHooks {
+		hook(step, &r.frames)
+	}
 	if cfg.StepHook != nil {
 		cfg.StepHook(step, env, &r.frames)
 	}
@@ -391,13 +441,14 @@ func (r *runner) stepAgents(step int) *Result {
 		if !receives(r.cfg.Mode, r.cfg.Overlap, id, step) {
 			continue
 		}
-		in := r.agentInput(id, step)
-		out, err := ag.Step(&in)
+		r.stepIn = r.agentInput(id, step)
+		out, err := ag.Step(&r.stepIn)
 		if err != nil {
 			finishDUE(r.tr, r.env, step, err)
 			return r.finish(r.start)
 		}
-		r.applyAgentOut(id, step, out)
+		r.stepOut = out
+		r.applyAgentOut(id, step, &r.stepIn, &r.stepOut)
 	}
 	return nil
 }
@@ -426,9 +477,15 @@ func (r *runner) agentInput(id, step int) agent.Input {
 	return in
 }
 
-// applyAgentOut latches agent id's actuation into the step command
-// record and, when fusion selects it, into the applied controls.
-func (r *runner) applyAgentOut(id, step int, out agent.Output) {
+// applyAgentOut perturbs agent id's output through any armed
+// perception-surface hooks (the fault acts on what the planner
+// *reported*, after the pipeline ran and before anything downstream
+// reads it), then latches the actuation into the step command record
+// and, when fusion selects it, into the applied controls.
+func (r *runner) applyAgentOut(id, step int, in *agent.Input, out *agent.Output) {
+	for _, hook := range r.outputHooks {
+		hook(id, step, in, out)
+	}
 	r.stepCmds[id] = trace.Cmd{
 		Valid:        true,
 		Throttle:     out.Controls.Throttle,
@@ -501,26 +558,24 @@ func (r *runner) stepFinish(step int) *Result {
 }
 
 // maybeReleaseHooks is the batched-lane rejoin at the hook level: once
-// every injector on this runner is provably quiescent — a transient
-// fault that has fired, or whose dynamic index the machine counter has
-// passed, returns zero masks forever — the hooks come off, dropping
-// agent execution back onto the hook-free tier-1/lockstep path.
-// Bit-exactness is structural: a quiescent hook only ever returns mask
-// 0, and the zero-mask hooked loop is differentially pinned against the
-// hook-free loops. Gated on Config.laneHookRelease.
-func (r *runner) maybeReleaseHooks() {
-	if !r.cfg.laneHookRelease || r.hooksReleased || len(r.injectors) == 0 {
+// the runner's fault surface is provably quiescent at every step after
+// this one — an instruction-surface transient that has fired, or whose
+// dynamic index the machine counter has passed, returns zero masks
+// forever; a windowed surface whose window has closed — the surface's
+// hot-path hooks come off (Surface.Release), dropping agent execution
+// back onto the hook-free tier-1/lockstep path. Bit-exactness is
+// structural: a quiescent hook only ever returns mask 0, and the
+// zero-mask hooked loop is differentially pinned against the hook-free
+// loops. Gated on Config.laneHookRelease; called at the end of step
+// `step`, so the probe asks about steps >= step+1.
+func (r *runner) maybeReleaseHooks(step int) {
+	if !r.cfg.laneHookRelease || r.hooksReleased || r.surface == nil {
 		return
 	}
-	for k, inj := range r.injectors {
-		mach := r.agents[r.injAgents[k]].Machine()
-		if !inj.Quiescent(mach.InstrCount(inj.Plan().Target)) {
-			return
-		}
+	if !r.surface.Quiescent(step + 1) {
+		return
 	}
-	for _, i := range r.injAgents {
-		r.agents[i].Machine().SetFaultHook(nil)
-	}
+	r.surface.Release()
 	r.hooksReleased = true
 	if in := instruments(); in != nil {
 		in.hookReleases.Inc()
@@ -533,7 +588,7 @@ func (r *runner) finish(start int) *Result {
 	recordInstr(r.tr, r.agents)
 	res := &Result{
 		Trace:       r.tr,
-		Activations: totalActivations(r.injectors),
+		Activations: surfaceActivations(r.surface),
 		Checkpoints: r.checkpoints,
 		Exec:        ExecInfo{SimulatedFrom: start, SimulatedTo: r.tr.EndStep + 1},
 	}
@@ -658,12 +713,11 @@ func recordInstr(tr *trace.Trace, agents []*agent.Agent) {
 	}
 }
 
-func totalActivations(injectors []*fi.Injector) uint64 {
-	var sum uint64
-	for _, in := range injectors {
-		sum += in.Activations()
+func surfaceActivations(s fi.Surface) uint64 {
+	if s == nil {
+		return 0
 	}
-	return sum
+	return s.Activations()
 }
 
 // MaxTrajectoryDivergence returns max_t |pos_t − base_t| between a trace
