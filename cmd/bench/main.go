@@ -534,6 +534,7 @@ func main() {
 		{"campaign/transient-fork", campCase(campaign.Options{DisableSplice: true, LaneWidth: -1})},
 		{"campaign/transient-splice", campCase(campaign.Options{LaneWidth: -1})},
 		{"campaign/transient-batch", campCase(campaign.Options{})},
+		{"campaign/transient-traced", campCase(campaign.Options{Propagation: true})},
 		{"campaign/sensorfault", surfCase(fi.SurfaceSensor)},
 		{"campaign/hallucinate", surfCase(fi.SurfaceHallucinate)},
 		{"render/center-camera", noSteps(benchRender)},

@@ -107,10 +107,15 @@ func main() {
 	if sess != nil {
 		l.SetLedger(sess.Ledger)
 	}
+	// One progress line on stderr: in coordinator mode the grid owns it
+	// (batch progress plus live lease/worker counts), otherwise the lab's
+	// per-job completions drive it. Two writers would fight over the line.
 	var pr *obs.Progress
 	if obs.StderrIsTerminal() {
 		pr = obs.NewProgress(os.Stderr, "experiments")
-		l.SetProgress(pr.Update)
+		if *serve == "" {
+			l.SetProgress(pr.Update)
+		}
 	}
 	o.Lab = l
 
@@ -130,7 +135,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		coord := grid.NewCoordinator(l.Store(), grid.Config{Lease: *lease, Log: logf})
+		coord := grid.NewCoordinator(l.Store(), grid.Config{Lease: *lease, Log: logf, Progress: pr})
 		if sess != nil {
 			coord.SetLedger(sess.Ledger)
 		}

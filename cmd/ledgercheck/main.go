@@ -3,10 +3,11 @@
 // span counts by phase and cache status, total queue/exec time, the
 // per-node span counts of a merged grid ledger, the divergence-aware
 // run summary (simulated steps, splice and early-exit counts from the
-// per-run spans), the per-fault-surface run-span tally, and the metrics
-// record. It exits
-// nonzero on the first invalid file, so CI can gate on the ledger
-// schema.
+// per-run spans), the per-fault-surface run-span tally, the
+// propagation-record tally, and the metrics record. With -summary it
+// prints a human-readable table instead: records per type, phase,
+// surface and node, plus the schema version. It exits nonzero on the
+// first invalid file, so CI can gate on the ledger schema.
 package main
 
 import (
@@ -21,14 +22,15 @@ import (
 
 func main() {
 	quiet := flag.Bool("q", false, "only report errors, no per-file digest")
+	summary := flag.Bool("summary", false, "print a per-file summary table instead of the digest")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: ledgercheck [-q] ledger.jsonl ...")
+		fmt.Fprintln(os.Stderr, "usage: ledgercheck [-q] [-summary] ledger.jsonl ...")
 		os.Exit(2)
 	}
 	bad := false
 	for _, path := range flag.Args() {
-		if err := check(path, *quiet); err != nil {
+		if err := check(path, *quiet, *summary); err != nil {
 			fmt.Fprintf(os.Stderr, "ledgercheck: %s: %v\n", path, err)
 			bad = true
 		}
@@ -38,7 +40,7 @@ func main() {
 	}
 }
 
-func check(path string, quiet bool) error {
+func check(path string, quiet, summary bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -54,13 +56,18 @@ func check(path string, quiet bool) error {
 	if quiet {
 		return nil
 	}
+	if summary {
+		printSummary(path, recs)
+		return nil
+	}
 
 	phases := map[string]int{}
 	caches := map[string]int{}
 	exits := map[string]int{}
 	nodes := map[string]int{}
 	surfaces := map[string]int{}
-	var spans int
+	verdicts := map[string]int{}
+	var spans, props int
 	var queueNs, execNs int64
 	var simSteps int64
 	var metrics map[string]int64
@@ -86,6 +93,11 @@ func check(path string, quiet bool) error {
 			}
 			if ss := r.Span.SimulatedSteps; len(ss) == 2 {
 				simSteps += int64(ss[1] - ss[0])
+			}
+		case obs.RecordPropagation:
+			props++
+			if v := r.Prop.Verdict; v != "" {
+				verdicts[v]++
 			}
 		case obs.RecordMetrics:
 			metrics = r.Metrics
@@ -126,12 +138,88 @@ func check(path string, quiet bool) error {
 		}
 		fmt.Println()
 	}
+	if props > 0 {
+		fmt.Printf("  propagation: %d records", props)
+		for _, k := range sortedCounts(verdicts) {
+			fmt.Printf(", %d %s", verdicts[k], k)
+		}
+		fmt.Println()
+	}
 	if metrics != nil {
 		fmt.Printf("  %d metrics (sim.runs=%d, sim.steps=%d)\n",
 			len(metrics), metrics["sim.runs"], metrics["sim.steps"])
 	}
 	fmt.Printf("  OK: %d records\n", len(recs))
 	return nil
+}
+
+// printSummary renders the -summary table: record counts per type, span
+// counts per phase, per-surface span and propagation counts, and
+// per-node record counts of a merged grid ledger.
+func printSummary(path string, recs []obs.Record) {
+	types := map[string]int{}
+	phases := map[string]int{}
+	surfSpans := map[string]int{}
+	surfProps := map[string]int{}
+	nodes := map[string]int{}
+	schema := 0
+	for _, r := range recs {
+		types[r.Type]++
+		switch r.Type {
+		case obs.RecordMeta:
+			schema = r.Meta.Schema
+			if r.Meta.Node != "" {
+				nodes[r.Meta.Node]++
+			}
+		case obs.RecordSpan:
+			phases[r.Span.Phase]++
+			if r.Span.Surface != "" {
+				surfSpans[r.Span.Surface]++
+			}
+			if r.Span.Node != "" {
+				nodes[r.Span.Node]++
+			} else {
+				nodes["(local)"]++
+			}
+		case obs.RecordPropagation:
+			surfProps[r.Prop.Surface]++
+			if r.Prop.Node != "" {
+				nodes[r.Prop.Node]++
+			} else {
+				nodes["(local)"]++
+			}
+		}
+	}
+	fmt.Printf("%s — schema %d, %d records\n", path, schema, len(recs))
+	fmt.Printf("  %-14s %7s\n", "type", "records")
+	for _, k := range sortedCounts(types) {
+		fmt.Printf("  %-14s %7d\n", k, types[k])
+	}
+	if len(phases) > 0 {
+		fmt.Printf("  %-14s %7s\n", "phase", "spans")
+		for _, k := range sortedCounts(phases) {
+			fmt.Printf("  %-14s %7d\n", k, phases[k])
+		}
+	}
+	if len(surfSpans) > 0 || len(surfProps) > 0 {
+		fmt.Printf("  %-14s %7s %12s\n", "surface", "spans", "propagation")
+		union := map[string]int{}
+		for k := range surfSpans {
+			union[k]++
+		}
+		for k := range surfProps {
+			union[k]++
+		}
+		for _, k := range sortedCounts(union) {
+			fmt.Printf("  %-14s %7d %12d\n", k, surfSpans[k], surfProps[k])
+		}
+	}
+	if len(nodes) > 0 {
+		fmt.Printf("  %-14s %7s\n", "node", "records")
+		for _, k := range sortedCounts(nodes) {
+			fmt.Printf("  %-14s %7d\n", k, nodes[k])
+		}
+	}
 }
 
 func sortedCounts(m map[string]int) []string {

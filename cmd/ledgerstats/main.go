@@ -1,0 +1,333 @@
+// Command ledgerstats turns validated JSONL telemetry ledgers into
+// propagation analytics: where injected faults first diverged
+// (subsystem × surface), how the campaign verdicts split per surface,
+// how long corruption took to surface after activation (latency
+// histogram), at which boundary masked faults died, and — for merged
+// grid ledgers — a per-node worker-utilization timeline reconstructed
+// from the span records. It reads one or more ledgers (a single
+// process's or a coordinator-merged fleet's), validates them like
+// ledgercheck, and prints the combined analysis; it exits nonzero on
+// the first invalid file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"diverseav/internal/obs"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ledgerstats ledger.jsonl ...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var recs []obs.Record
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ledgerstats: %v\n", err)
+			os.Exit(1)
+		}
+		r, err := obs.ReadLedger(f)
+		f.Close()
+		if err == nil {
+			err = obs.Validate(r)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ledgerstats: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		recs = append(recs, r...)
+	}
+	os.Stdout.WriteString(render(recs))
+}
+
+// latencyBuckets are the histogram edges, in steps after activation:
+// bucket i covers [edge[i], edge[i+1]), the last is open-ended. At the
+// sim's 40 Hz, 40 steps is one second of propagation latency.
+var latencyBuckets = []int{0, 10, 25, 50, 100, 200}
+
+// subsystemOrder fixes attribution-table row order: the agent fabrics,
+// the control latches they feed, then the world and sensor streams.
+var subsystemOrder = []string{
+	obs.SubsystemAgent0, obs.SubsystemAgent1, obs.SubsystemCtrl,
+	obs.SubsystemEnv, obs.SubsystemIMU, obs.SubsystemJitter, obs.SubsystemTrace,
+}
+
+var boundaryOrder = []string{obs.BoundaryState, obs.BoundaryControl, obs.BoundaryTrajectory}
+
+var verdictOrder = []string{obs.VerdictSDC, obs.VerdictDUE, obs.VerdictMasked}
+
+// render formats the full analysis of a merged record stream.
+func render(recs []obs.Record) string {
+	var props []*obs.Propagation
+	var spans []*obs.Span
+	var elapsed []int64 // per-span emission offset, parallel to spans
+	for _, r := range recs {
+		switch r.Type {
+		case obs.RecordPropagation:
+			props = append(props, r.Prop)
+		case obs.RecordSpan:
+			spans = append(spans, r.Span)
+			elapsed = append(elapsed, r.ElapsedNs)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "ledgerstats — %d records, %d spans, %d propagation records\n",
+		len(recs), len(spans), len(props))
+
+	surfaces := surfaceColumns(props)
+	if len(props) > 0 {
+		renderSubsystemTable(&b, props, surfaces)
+		renderVerdictTable(&b, props, surfaces)
+		renderBoundaryTable(&b, props, surfaces)
+		renderLatencyHistogram(&b, props, surfaces)
+	} else {
+		b.WriteString("\nno propagation records (run the campaign with tracing on)\n")
+	}
+	renderUtilization(&b, spans, elapsed)
+	return b.String()
+}
+
+// surfaceColumns lists the surfaces present in the records, in the
+// canonical instr/sensorfault/hallucinate order, then any unknown ones
+// sorted.
+func surfaceColumns(props []*obs.Propagation) []string {
+	present := map[string]bool{}
+	for _, p := range props {
+		present[p.Surface] = true
+	}
+	var cols []string
+	for _, s := range []string{obs.SurfaceInstr, obs.SurfaceSensor, obs.SurfaceHallucinate} {
+		if present[s] {
+			cols = append(cols, s)
+			delete(present, s)
+		}
+	}
+	rest := make([]string, 0, len(present))
+	for s := range present {
+		rest = append(rest, s)
+	}
+	sort.Strings(rest)
+	return append(cols, rest...)
+}
+
+func renderCrossTable(b *strings.Builder, title, rowHdr string, rows, cols []string, count func(row, col string) int) {
+	fmt.Fprintf(b, "\n%s\n", title)
+	fmt.Fprintf(b, "%-12s", rowHdr)
+	for _, c := range cols {
+		fmt.Fprintf(b, " %12s", c)
+	}
+	fmt.Fprintf(b, " %8s\n", "total")
+	for _, r := range rows {
+		total := 0
+		var line strings.Builder
+		fmt.Fprintf(&line, "%-12s", r)
+		for _, c := range cols {
+			n := count(r, c)
+			total += n
+			fmt.Fprintf(&line, " %12d", n)
+		}
+		if total == 0 {
+			continue // skip empty rows, keep the table tight
+		}
+		fmt.Fprintf(b, "%s %8d\n", line.String(), total)
+	}
+}
+
+func renderSubsystemTable(b *strings.Builder, props []*obs.Propagation, cols []string) {
+	n := map[[2]string]int{}
+	for _, p := range props {
+		n[[2]string{p.Subsystem, p.Surface}]++
+	}
+	renderCrossTable(b, "First-diverged subsystem × surface", "subsystem", subsystemOrder, cols,
+		func(r, c string) int { return n[[2]string{r, c}] })
+}
+
+func renderVerdictTable(b *strings.Builder, props []*obs.Propagation, cols []string) {
+	n := map[[2]string]int{}
+	for _, p := range props {
+		v := p.Verdict
+		if v == "" {
+			v = "(none)"
+		}
+		n[[2]string{v, p.Surface}]++
+	}
+	rows := append([]string{}, verdictOrder...)
+	rows = append(rows, "(none)")
+	renderCrossTable(b, "Verdict × surface (traced runs)", "verdict", rows, cols,
+		func(r, c string) int { return n[[2]string{r, c}] })
+}
+
+func renderBoundaryTable(b *strings.Builder, props []*obs.Propagation, cols []string) {
+	n := map[[2]string]int{}
+	for _, p := range props {
+		if p.Verdict != obs.VerdictMasked {
+			continue
+		}
+		n[[2]string{p.Boundary, p.Surface}]++
+	}
+	renderCrossTable(b, "Masked at which boundary (masked traced runs)", "boundary", boundaryOrder, cols,
+		func(r, c string) int { return n[[2]string{r, c}] })
+}
+
+func renderLatencyHistogram(b *strings.Builder, props []*obs.Propagation, cols []string) {
+	fmt.Fprintf(b, "\nActivation → divergence latency (steps; 40 steps = 1 s)\n")
+	for _, surf := range cols {
+		counts := make([]int, len(latencyBuckets))
+		total := 0
+		for _, p := range props {
+			if p.Surface != surf || p.LatencySteps < 0 {
+				continue
+			}
+			total++
+			i := sort.SearchInts(latencyBuckets, p.LatencySteps+1) - 1
+			if i < 0 {
+				i = 0
+			}
+			counts[i]++
+		}
+		if total == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "%s (%d with known activation)\n", surf, total)
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		for i, c := range counts {
+			label := fmt.Sprintf("%d+", latencyBuckets[i])
+			if i+1 < len(latencyBuckets) {
+				label = fmt.Sprintf("%d-%d", latencyBuckets[i], latencyBuckets[i+1]-1)
+			}
+			bar := ""
+			if max > 0 {
+				bar = strings.Repeat("#", c*40/max)
+			}
+			fmt.Fprintf(b, "  %-8s %5d %s\n", label, c, bar)
+		}
+	}
+}
+
+// utilizationBuckets is the timeline resolution of the worker view.
+const utilizationBuckets = 20
+
+// renderUtilization reconstructs a per-node busy timeline from the
+// span records of a merged grid ledger: each span occupied its node
+// for ExecNs ending at its emission offset, so per time bucket the
+// busy fraction is the overlap of the node's spans with the bucket.
+// Spans without a node (a single-process ledger) aggregate under
+// "(local)". Job-phase spans subsume their per-run child spans on the
+// same node, so only leaf "run" spans — plus job spans that carry no
+// runs, like golden and detector jobs — are counted as busy time.
+func renderUtilization(b *strings.Builder, spans []*obs.Span, elapsed []int64) {
+	if len(spans) == 0 {
+		return
+	}
+	var end int64
+	for _, e := range elapsed {
+		if e > end {
+			end = e
+		}
+	}
+	if end <= 0 {
+		return
+	}
+	// Nodes whose campaign jobs emitted per-run spans: count the runs
+	// and skip the enclosing campaign span to avoid double-counting.
+	hasRuns := map[string]bool{}
+	for _, s := range spans {
+		if s.Phase == "run" {
+			hasRuns[s.Node] = true
+		}
+	}
+	busy := map[string][]int64{} // node → per-bucket busy ns
+	bucket := end / utilizationBuckets
+	if bucket == 0 {
+		bucket = 1
+	}
+	for i, s := range spans {
+		if s.Cache != obs.CacheComputed && s.Phase != "run" {
+			continue // cache hits cost no execution
+		}
+		if s.Phase == "campaign" && hasRuns[s.Node] {
+			continue
+		}
+		node := s.Node
+		if node == "" {
+			node = "(local)"
+		}
+		bb := busy[node]
+		if bb == nil {
+			bb = make([]int64, utilizationBuckets)
+			busy[node] = bb
+		}
+		from, to := elapsed[i]-s.ExecNs, elapsed[i]
+		if from < 0 {
+			from = 0
+		}
+		for k := 0; k < utilizationBuckets; k++ {
+			lo, hi := int64(k)*bucket, int64(k+1)*bucket
+			ov := min64(hi, to) - max64(lo, from)
+			if ov > 0 {
+				bb[k] += ov
+			}
+		}
+	}
+	if len(busy) == 0 {
+		return
+	}
+	nodes := make([]string, 0, len(busy))
+	for n := range busy {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	fmt.Fprintf(b, "\nWorker utilization (%d buckets over %.1fs, # >= 75%% busy, + >= 25%%, . > 0)\n",
+		utilizationBuckets, float64(end)/1e9)
+	for _, n := range nodes {
+		var bar, total strings.Builder
+		var busyNs int64
+		for _, ns := range busy[n] {
+			busyNs += ns
+			frac := float64(ns) / float64(bucket)
+			switch {
+			case frac >= 0.75:
+				bar.WriteByte('#')
+			case frac >= 0.25:
+				bar.WriteByte('+')
+			case ns > 0:
+				bar.WriteByte('.')
+			default:
+				bar.WriteByte(' ')
+			}
+		}
+		fmt.Fprintf(&total, "busy %2.0f%%", 100*float64(busyNs)/float64(end))
+		fmt.Fprintf(b, "%-12s |%s| %s\n", n, bar.String(), total.String())
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"diverseav/internal/obs"
+)
+
+func prop(surface, subsystem, verdict, boundary string, latency int) obs.Record {
+	p := &obs.Propagation{
+		Key: "k/run-000", Surface: surface, Subsystem: subsystem,
+		Verdict: verdict, Boundary: boundary,
+		Step: 100, ActivationStep: -1, LatencySteps: latency,
+	}
+	if latency >= 0 {
+		p.ActivationStep = 100 - latency
+	}
+	return obs.Record{Type: obs.RecordPropagation, Prop: p}
+}
+
+func span(node, phase, cache string, execNs, elapsedNs int64) obs.Record {
+	return obs.Record{
+		Type: obs.RecordSpan, ElapsedNs: elapsedNs,
+		Span: &obs.Span{Key: "k", Phase: phase, Cache: cache, ExecNs: execNs, Node: node},
+	}
+}
+
+// TestRenderTables: the cross tables aggregate propagation records by
+// surface and drop empty rows; the boundary table counts masked runs
+// only.
+func TestRenderTables(t *testing.T) {
+	recs := []obs.Record{
+		{Type: obs.RecordMeta, Meta: &obs.Meta{Tool: "test", Schema: obs.SchemaVersion}},
+		prop(obs.SurfaceSensor, obs.SubsystemAgent0, obs.VerdictSDC, obs.BoundaryTrajectory, 12),
+		prop(obs.SurfaceSensor, obs.SubsystemAgent0, obs.VerdictMasked, obs.BoundaryState, 3),
+		prop(obs.SurfaceInstr, obs.SubsystemCtrl, obs.VerdictMasked, obs.BoundaryControl, -1),
+	}
+	if err := obs.Validate(recs); err != nil {
+		t.Fatalf("synthetic records do not validate: %v", err)
+	}
+	out := render(recs)
+	for _, want := range []string{
+		"3 propagation records",
+		"First-diverged subsystem × surface",
+		"Verdict × surface",
+		"Masked at which boundary",
+		"Activation → divergence latency",
+		obs.SurfaceSensor, obs.SurfaceInstr,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q\n%s", want, out)
+		}
+	}
+	// agent0 diverged first twice on the sensor surface, never on instr.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, obs.SubsystemAgent0) {
+			f := strings.Fields(line)
+			// subsystem, instr, sensorfault, total
+			if len(f) != 4 || f[1] != "0" || f[2] != "2" || f[3] != "2" {
+				t.Errorf("agent0 row = %q, want 0 instr / 2 sensorfault / 2 total", line)
+			}
+		}
+		if strings.HasPrefix(line, obs.SubsystemAgent1) {
+			t.Errorf("empty subsystem row not dropped: %q", line)
+		}
+	}
+	// The SDC run is not masked, so only the state and control
+	// boundaries appear in the masked table.
+	if strings.Contains(out, obs.BoundaryTrajectory+" ") &&
+		strings.Index(out, obs.BoundaryTrajectory+" ") > strings.Index(out, "Masked at which boundary") {
+		t.Errorf("non-masked run leaked into the boundary table\n%s", out)
+	}
+}
+
+// TestRenderNoProps: a span-only ledger reports the absence of
+// propagation records instead of printing empty tables.
+func TestRenderNoProps(t *testing.T) {
+	out := render([]obs.Record{
+		{Type: obs.RecordMeta, Meta: &obs.Meta{Tool: "test"}},
+	})
+	if !strings.Contains(out, "no propagation records") {
+		t.Errorf("missing no-records notice:\n%s", out)
+	}
+	if strings.Contains(out, "Verdict × surface") {
+		t.Errorf("empty tables rendered:\n%s", out)
+	}
+}
+
+// TestRenderUtilization: the worker timeline attributes each span's
+// ExecNs to its node, aggregates unstamped spans under (local), and
+// skips cache hits.
+func TestRenderUtilization(t *testing.T) {
+	recs := []obs.Record{
+		{Type: obs.RecordMeta, Meta: &obs.Meta{Tool: "test", Schema: obs.SchemaVersion}},
+		// worker-0 busy the whole first half, idle after.
+		span("worker-0", "campaign", obs.CacheComputed, 500, 500),
+		// worker-1 busy the second half.
+		span("worker-1", "campaign", obs.CacheComputed, 500, 1000),
+		// an unstamped single-process span lands under (local).
+		span("", "golden", obs.CacheComputed, 1000, 1000),
+		// a disk hit costs no execution and must not count.
+		span("worker-0", "campaign", obs.CacheDisk, 0, 900),
+	}
+	if err := obs.Validate(recs); err != nil {
+		t.Fatalf("synthetic records do not validate: %v", err)
+	}
+	out := render(recs)
+	for _, want := range []string{"Worker utilization", "worker-0", "worker-1", "(local)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("utilization output missing %q\n%s", want, out)
+		}
+	}
+	var w0, w1, local string
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(line, "worker-0"):
+			w0 = line
+		case strings.HasPrefix(line, "worker-1"):
+			w1 = line
+		case strings.HasPrefix(line, "(local)"):
+			local = line
+		}
+	}
+	for line, want := range map[string]string{w0: "busy 50%", w1: "busy 50%", local: "busy 100%"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+	// worker-0 worked the first half only: its bar's busy marks must all
+	// precede worker-1's.
+	bar := func(line string) string {
+		i, j := strings.Index(line, "|"), strings.LastIndex(line, "|")
+		return line[i+1 : j]
+	}
+	if b := bar(w0); strings.TrimRight(b, " ") != strings.Repeat("#", utilizationBuckets/2) {
+		t.Errorf("worker-0 bar = %q, want first-half busy", b)
+	}
+	if b := bar(w1); strings.TrimLeft(b, " ") != strings.Repeat("#", utilizationBuckets/2) {
+		t.Errorf("worker-1 bar = %q, want second-half busy", b)
+	}
+}

@@ -74,6 +74,11 @@ type Options struct {
 	// lab.DefaultLaneWidth, a negative value runs every injection solo;
 	// see lab.CampaignSpec.LaneWidth.
 	LaneWidth int
+	// Propagation turns on the fault-propagation tracer: every injection
+	// run's Result then carries a first-divergence attribution record.
+	// Traces are unchanged, but the records extend the campaign artifact
+	// (they are part of its identity); see lab.CampaignSpec.Propagation.
+	Propagation bool
 }
 
 // Golden runs n fault-free experiments of the scenario in the given
@@ -130,6 +135,7 @@ func RunWithOptions(sc *scenario.Scenario, mode sim.Mode, target vm.Device, mode
 		DisableSplice:   opts.DisableSplice,
 		EarlyExit:       opts.EarlyExit,
 		LaneWidth:       opts.LaneWidth,
+		Propagation:     opts.Propagation,
 	}
 	if golden != nil {
 		l.ProvideGolden(lab.GoldenSpec{Scenario: sc.Name, Mode: mode, N: sizes.Golden, Seed: seedBase + 1000}, golden)
@@ -159,6 +165,7 @@ func RunSurface(sc *scenario.Scenario, surface string, mode sim.Mode, target vm.
 		DisableSplice:   opts.DisableSplice,
 		EarlyExit:       opts.EarlyExit,
 		LaneWidth:       opts.LaneWidth,
+		Propagation:     opts.Propagation,
 	}
 	if golden != nil {
 		l.ProvideGolden(lab.GoldenSpec{Scenario: sc.Name, Mode: mode, N: sizes.Golden, Seed: seedBase + 1000}, golden)

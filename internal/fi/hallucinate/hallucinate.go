@@ -69,6 +69,9 @@ type Plan struct {
 func (p Plan) Surface() string { return fi.SurfaceHallucinate }
 func (p Plan) Start() int      { return p.Step }
 
+// End is the first step past the perturbation window (fi.WindowedPlan).
+func (p Plan) End() int { return p.Step + p.Duration }
+
 func (p Plan) String() string {
 	switch p.Kind {
 	case Phantom:

@@ -117,6 +117,31 @@ type SurfacePlan interface {
 	New() Surface
 }
 
+// WindowedPlan is the optional refinement a SurfacePlan implements when
+// its activation window is fully step-decidable: the fault can act
+// exactly within [Start(), End()). The sensor and perception surfaces
+// implement it; the instruction surface does not (its reach is a
+// dynamic instruction index). The propagation tracer stamps the window
+// into each run's record as a site feature, so downstream analytics
+// (and the Bayesian steering the ROADMAP names) can relate
+// divergence latency to window position without re-parsing plan
+// strings.
+type WindowedPlan interface {
+	SurfacePlan
+	// End is the first step at which the fault can no longer act.
+	End() int
+}
+
+// PlanWindow returns a plan's [start, end) activation window, or nil
+// when the plan is not fully step-decidable.
+func PlanWindow(p SurfacePlan) []int {
+	w, ok := p.(WindowedPlan)
+	if !ok || w.Start() < 0 {
+		return nil
+	}
+	return []int{w.Start(), w.End()}
+}
+
 // SurfacePlanner generates a campaign's worth of plans for one surface,
 // seeded deterministically (the analogue of Planner for non-instruction
 // surfaces).

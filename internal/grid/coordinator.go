@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -35,6 +36,11 @@ type Config struct {
 	Stall time.Duration
 	// Log receives coordinator progress lines (nil disables).
 	Log func(format string, args ...any)
+	// Progress, when non-nil, is redrawn live while Run dispatches a
+	// batch: done/total jobs, plus a leased/worker summary as the extra
+	// suffix. The same obs.Progress drivers hand to a local lab, so a
+	// grid run reports on stderr exactly like a local one.
+	Progress *obs.Progress
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +76,10 @@ type job struct {
 	dependents []*job // jobs waiting on this one
 	expiry     time.Time
 	attempts   int
+	// worker/leasedAt describe the live lease (state jLeased): who holds
+	// it and since when. Surfaced by /grid/status.
+	worker   int
+	leasedAt time.Time
 }
 
 // Coordinator owns the job queue for a batch of lab specs and the HTTP
@@ -94,6 +104,12 @@ type Coordinator struct {
 	nextWorker  int
 	retired     map[int]bool // worker id → has seen the shutdown signal
 	lastPoll    time.Time
+	batchTotal  int // jobs queued at Run start (progress denominator)
+	// Artifact-store traffic counters for /grid/status: GET/HEAD
+	// requests split into hits and misses, and PUT uploads.
+	storeHits   int
+	storeMisses int
+	storePuts   int
 }
 
 // NewCoordinator serves jobs whose artifacts land in store — typically
@@ -190,6 +206,8 @@ func (c *Coordinator) Run(specs []lab.Spec) error {
 	c.active = true
 	c.lastPoll = time.Now()
 	queued := c.outstanding
+	c.batchTotal = queued
+	c.refreshProgress()
 	c.mu.Unlock()
 
 	c.log("grid: dispatching %d of %d jobs (%d already stored)", queued, len(plan), len(plan)-queued)
@@ -217,7 +235,9 @@ waiting:
 	c.jobs, c.ready, c.abandoned = nil, nil, nil
 	c.active = false
 	c.batchDone = nil
+	c.batchTotal = 0
 	c.mu.Unlock()
+	c.cfg.Progress.Done()
 
 	if len(abandoned) > 0 {
 		return fmt.Errorf("grid: %d jobs abandoned (%s)", len(abandoned), strings.Join(abandoned, ", "))
@@ -286,6 +306,25 @@ func (c *Coordinator) finishOne() {
 		close(c.batchDone)
 		c.batchDone = nil
 	}
+	c.refreshProgress()
+}
+
+// refreshProgress redraws the live batch progress line (Config.
+// Progress) from the queue state. Called with c.mu held; obs.Progress
+// rate-limits its own redraws.
+func (c *Coordinator) refreshProgress() {
+	p := c.cfg.Progress
+	if p == nil || c.batchTotal == 0 {
+		return
+	}
+	leased := 0
+	for _, j := range c.jobs {
+		if j.state == jLeased {
+			leased++
+		}
+	}
+	p.SetExtra(fmt.Sprintf("%d leased, %d workers", leased, len(c.retired)))
+	p.Update(c.batchTotal-c.outstanding, c.batchTotal)
 }
 
 // Close marks the coordinator as shutting down: every subsequent /job
@@ -331,6 +370,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc(pathFail, c.handleFail)
 	mux.HandleFunc(pathArtifact, c.handleArtifact)
 	mux.HandleFunc(pathLedger, c.handleLedger)
+	mux.HandleFunc(pathStatus, c.handleStatus)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if hdr := r.Header.Get(headerWire); hdr != "" && hdr != strconv.Itoa(lab.WireVersion) {
 			http.Error(w, fmt.Sprintf("artifact wire version %s, this coordinator speaks %d — coordinator and workers must run the same build", hdr, lab.WireVersion), http.StatusBadRequest)
@@ -353,10 +393,11 @@ func (c *Coordinator) handlePing(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
+	worker, workerErr := strconv.Atoi(r.URL.Query().Get("worker"))
 	c.mu.Lock()
 	if c.closed {
-		if id, err := strconv.Atoi(r.URL.Query().Get("worker")); err == nil {
-			c.retired[id] = true
+		if workerErr == nil {
+			c.retired[worker] = true
 		}
 		c.mu.Unlock()
 		w.WriteHeader(http.StatusGone)
@@ -371,6 +412,9 @@ func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 		j.state = jLeased
 		j.expiry = now.Add(c.cfg.Lease)
 		j.attempts++
+		j.worker = worker
+		j.leasedAt = now
+		c.refreshProgress()
 	}
 	c.mu.Unlock()
 	if j == nil {
@@ -430,6 +474,9 @@ func (c *Coordinator) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet, http.MethodHead:
 		data, err := c.store.Get(key)
 		if errors.Is(err, lab.ErrNotFound) {
+			c.mu.Lock()
+			c.storeMisses++
+			c.mu.Unlock()
 			http.NotFound(w, r)
 			return
 		}
@@ -437,6 +484,9 @@ func (c *Coordinator) handleArtifact(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		c.mu.Lock()
+		c.storeHits++
+		c.mu.Unlock()
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set(headerSHA, artifactSum(data))
 		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
@@ -463,6 +513,9 @@ func (c *Coordinator) handleArtifact(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		c.mu.Lock()
+		c.storePuts++
+		c.mu.Unlock()
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	}
@@ -493,8 +546,90 @@ func (c *Coordinator) handleLedger(w http.ResponseWriter, r *http.Request) {
 		if rec.Span != nil && rec.Span.Node == "" {
 			rec.Span.Node = node
 		}
+		if rec.Prop != nil && rec.Prop.Node == "" {
+			rec.Prop.Node = node
+		}
 		led.EmitRaw(rec)
 	}
+}
+
+// statusMsg is the /grid/status snapshot: the batch queue by state,
+// every worker that ever pinged with its live leases, and artifact-
+// store traffic since the coordinator started.
+type statusMsg struct {
+	Active    bool           `json:"active"`
+	Queued    int            `json:"queued"` // waiting + ready
+	Leased    int            `json:"leased"`
+	Done      int            `json:"done"`
+	Abandoned int            `json:"abandoned"`
+	Workers   []workerStatus `json:"workers,omitempty"`
+	Store     storeStatus    `json:"store"`
+}
+
+// workerStatus is one worker's live view: how many jobs it holds
+// leases on, the age of its oldest live lease, and whether it has
+// already observed the shutdown signal.
+type workerStatus struct {
+	Worker         int     `json:"worker"`
+	Leases         int     `json:"leases"`
+	OldestLeaseSec float64 `json:"oldest_lease_sec,omitempty"`
+	Retired        bool    `json:"retired"`
+}
+
+// storeStatus counts artifact-store HTTP traffic: fetch hits and
+// misses, and uploads.
+type storeStatus struct {
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+	Puts   int `json:"puts"`
+}
+
+// handleStatus serves the live campaign status as JSON: a read-only
+// snapshot for dashboards and humans watching a long batch (curl
+// <coordinator>/grid/status). Between batches every queue count is
+// zero and active is false; worker identities and store counters
+// persist for the coordinator's lifetime.
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	c.mu.Lock()
+	msg := statusMsg{
+		Active: c.active,
+		Store:  storeStatus{Hits: c.storeHits, Misses: c.storeMisses, Puts: c.storePuts},
+	}
+	perWorker := make(map[int]*workerStatus, len(c.retired))
+	ids := make([]int, 0, len(c.retired))
+	for id, retired := range c.retired {
+		perWorker[id] = &workerStatus{Worker: id, Retired: retired}
+		ids = append(ids, id)
+	}
+	for _, j := range c.jobs {
+		switch j.state {
+		case jWaiting, jReady:
+			msg.Queued++
+		case jLeased:
+			msg.Leased++
+			ws := perWorker[j.worker]
+			if ws == nil {
+				ws = &workerStatus{Worker: j.worker}
+				perWorker[j.worker] = ws
+				ids = append(ids, j.worker)
+			}
+			ws.Leases++
+			if age := now.Sub(j.leasedAt).Seconds(); age > ws.OldestLeaseSec {
+				ws.OldestLeaseSec = age
+			}
+		case jDone:
+			msg.Done++
+		case jAbandoned:
+			msg.Abandoned++
+		}
+	}
+	c.mu.Unlock()
+	sort.Ints(ids)
+	for _, id := range ids {
+		msg.Workers = append(msg.Workers, *perWorker[id])
+	}
+	writeJSON(w, msg)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

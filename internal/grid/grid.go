@@ -43,6 +43,7 @@ const (
 	pathFail     = "/grid/fail"
 	pathArtifact = "/grid/artifact/"
 	pathLedger   = "/grid/ledger"
+	pathStatus   = "/grid/status"
 
 	// headerWire carries the sender's artifact wire-format version
 	// (lab.WireVersion) on every worker request; see the package comment.

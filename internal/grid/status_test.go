@@ -1,0 +1,178 @@
+package grid
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"diverseav/internal/fi"
+	"diverseav/internal/lab"
+	"diverseav/internal/obs"
+)
+
+func getStatus(t *testing.T, addr string) statusMsg {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + pathStatus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status endpoint returned %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type %q, want application/json", ct)
+	}
+	var msg statusMsg
+	if err := json.NewDecoder(resp.Body).Decode(&msg); err != nil {
+		t.Fatal(err)
+	}
+	return msg
+}
+
+// TestGridStatusSnapshot drives the /grid/status snapshot off a
+// synthesized queue (the test lives in-package), so every state bucket,
+// the per-worker lease roll-up and the worker ordering are checked
+// deterministically — no races against a live batch.
+func TestGridStatusSnapshot(t *testing.T) {
+	store, err := lab.NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCoordinator(store, Config{})
+	now := time.Now()
+	c.mu.Lock()
+	c.active = true
+	c.retired = map[int]bool{1: false, 2: true}
+	c.storeHits, c.storeMisses, c.storePuts = 7, 2, 5
+	c.jobs = map[string]*job{
+		"a": {state: jWaiting},
+		"b": {state: jReady},
+		"c": {state: jLeased, worker: 1, leasedAt: now.Add(-2 * time.Second)},
+		"d": {state: jLeased, worker: 1, leasedAt: now.Add(-8 * time.Second)},
+		"e": {state: jDone},
+		"f": {state: jDone},
+		"g": {state: jAbandoned},
+	}
+	c.mu.Unlock()
+	addr := startCoordinator(t, c)
+
+	msg := getStatus(t, addr)
+	if !msg.Active || msg.Queued != 2 || msg.Leased != 2 || msg.Done != 2 || msg.Abandoned != 1 {
+		t.Errorf("snapshot = %+v, want active 2 queued / 2 leased / 2 done / 1 abandoned", msg)
+	}
+	if msg.Store != (storeStatus{Hits: 7, Misses: 2, Puts: 5}) {
+		t.Errorf("store counters = %+v", msg.Store)
+	}
+	if len(msg.Workers) != 2 || msg.Workers[0].Worker != 1 || msg.Workers[1].Worker != 2 {
+		t.Fatalf("workers = %+v, want ids 1,2 in order", msg.Workers)
+	}
+	w1 := msg.Workers[0]
+	if w1.Leases != 2 || w1.Retired {
+		t.Errorf("worker 1 = %+v, want 2 live leases, not retired", w1)
+	}
+	if w1.OldestLeaseSec < 7 || w1.OldestLeaseSec > 60 {
+		t.Errorf("worker 1 oldest lease %.1fs, want ~8s", w1.OldestLeaseSec)
+	}
+	if w2 := msg.Workers[1]; w2.Leases != 0 || !w2.Retired {
+		t.Errorf("worker 2 = %+v, want retired with no leases", w2)
+	}
+}
+
+// TestGridStatusIdle: a coordinator with no batch reports an inactive,
+// empty queue — the between-batches contract dashboards rely on.
+func TestGridStatusIdle(t *testing.T) {
+	store, err := lab.NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startCoordinator(t, NewCoordinator(store, Config{}))
+	msg := getStatus(t, addr)
+	if msg.Active || msg.Queued != 0 || msg.Leased != 0 || msg.Done != 0 || msg.Abandoned != 0 {
+		t.Errorf("idle snapshot = %+v, want all-zero inactive", msg)
+	}
+}
+
+// TestGridPropagationNodeStamp runs a traced surface campaign over the
+// grid: the merged ledger must carry the workers' propagation records,
+// each stamped with the executing worker's node identity, and the
+// post-batch /grid/status must show the batch retired with real store
+// traffic.
+func TestGridPropagationNodeStamp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	store, err := lab.NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	led := obs.NewLedger(&buf)
+	led.EmitMeta(obs.NewMeta("grid-test"))
+
+	c := NewCoordinator(store, Config{Lease: 5 * time.Second, Stall: 30 * time.Second})
+	c.SetLedger(led)
+	addr := startCoordinator(t, c)
+	wg := startWorkers(t, addr, 2)
+
+	spec := testCampaign()
+	spec.Surface = fi.SurfaceSensor
+	spec.CheckpointEvery = 10
+	spec.Propagation = true
+
+	l := lab.New()
+	l.RegisterScenario(shortLeadSlowdown())
+	l.SetStore(store)
+	l.SetRemote(c)
+	l.SetLedger(led)
+	l.Require(spec)
+
+	c.Close()
+	c.Drain(2 * time.Second)
+	wg.Wait()
+	if err := led.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := obs.ReadLedger(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Validate(recs); err != nil {
+		t.Fatalf("merged ledger does not validate: %v", err)
+	}
+	props := 0
+	for _, rec := range recs {
+		if rec.Type != obs.RecordPropagation {
+			continue
+		}
+		props++
+		if rec.Prop.Node != "worker-1" && rec.Prop.Node != "worker-2" {
+			t.Errorf("propagation record %s has node %q, want a worker stamp", rec.Prop.Key, rec.Prop.Node)
+		}
+		if rec.Prop.Surface != fi.SurfaceSensor {
+			t.Errorf("propagation record %s surface %q", rec.Prop.Key, rec.Prop.Surface)
+		}
+	}
+	if props == 0 {
+		t.Error("no propagation records in the merged ledger")
+	}
+
+	msg := getStatus(t, addr)
+	if msg.Active || msg.Queued != 0 || msg.Leased != 0 {
+		t.Errorf("post-batch snapshot = %+v, want inactive empty queue", msg)
+	}
+	if msg.Store.Puts == 0 {
+		t.Errorf("store counters = %+v, want uploads from the fleet", msg.Store)
+	}
+	if len(msg.Workers) == 0 {
+		t.Error("no workers in the post-batch snapshot")
+	}
+	for _, w := range msg.Workers {
+		if !w.Retired {
+			t.Errorf("worker %d not retired after drain", w.Worker)
+		}
+	}
+}

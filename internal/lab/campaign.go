@@ -236,6 +236,7 @@ func runCampaign(l *Lab, s CampaignSpec) *Campaign {
 			cfg.Golden = stream
 			cfg.DisableSplice = s.DisableSplice
 			cfg.EarlyExitDivergence = s.EarlyExit
+			cfg.Propagation = s.Propagation
 			if cp := forkPoint(cps, prof, faultAgents[i]%nAgents, plan); cp != nil {
 				if forked, err := sim.RunFrom(cp, cfg); err == nil {
 					obs.C("campaign.runs_forked").Inc()
@@ -272,6 +273,9 @@ func runCampaign(l *Lab, s CampaignSpec) *Campaign {
 	sim.ReleaseCheckpoints(cps)
 
 	c.Baseline = baselineOf(golden)
+	if ledger != nil {
+		emitPropagation(ledger, specKey, obs.SurfaceInstr, c, nil)
+	}
 	return c
 }
 
@@ -361,6 +365,7 @@ func runSurfaceCampaign(l *Lab, s CampaignSpec) *Campaign {
 			cfg.Golden = stream
 			cfg.DisableSplice = s.DisableSplice
 			cfg.EarlyExitDivergence = s.EarlyExit
+			cfg.Propagation = s.Propagation
 			// Fork from the latest golden checkpoint at or before the
 			// plan's start step (windowed surface plans are
 			// step-decidable, so Start is the exact first step the fault
@@ -405,7 +410,70 @@ func runSurfaceCampaign(l *Lab, s CampaignSpec) *Campaign {
 	sim.ReleaseCheckpoints(cps)
 
 	c.Baseline = baselineOf(golden)
+	if ledger != nil {
+		emitPropagation(ledger, specKey, s.Surface, c, func(i int) []int {
+			return fi.PlanWindow(plans[i])
+		})
+	}
 	return c
+}
+
+// emitPropagation streams every traced run's first-divergence record
+// into the telemetry ledger, one obs.Propagation per run whose tracer
+// observed a divergence. It runs after Baseline is computed so each
+// record can carry the campaign-level verdict: "due" (the run hung or
+// crashed), "sdc" (a safety hazard at the paper's td = 2 m), or
+// "masked" (the fault acted but the outcome stayed benign). Runs whose
+// fault never propagated to a checkpoint boundary — including every
+// zero-activation run — carry no record at all; that absence is itself
+// the masked-before-first-checkpoint signal ledger analytics count.
+// window, when non-nil, maps a run index to its plan's [start, end)
+// activation window (fi.PlanWindow; nil for the instruction surface,
+// whose reach is a dynamic instruction index).
+func emitPropagation(ledger *obs.Ledger, specKey, surface string, c *Campaign, window func(i int) []int) {
+	for i := range c.Runs {
+		r := &c.Runs[i]
+		p := r.Result.Propagation
+		if p == nil {
+			continue
+		}
+		rec := obs.Propagation{
+			Key:            fmt.Sprintf("%s/run-%03d", specKey, i),
+			Surface:        surface,
+			Site:           r.Label(),
+			Subsystem:      p.Subsystem,
+			Step:           p.Step,
+			ActivationStep: p.ActivationStep,
+			LatencySteps:   -1,
+			Boundary:       p.Boundary(),
+			Reconverged:    p.Reconverged,
+			MaxLateral:     p.MaxLateral,
+			MinCVIP:        p.MinCVIP,
+			MinTTC:         p.MinTTC,
+			Samples:        p.Samples,
+		}
+		if len(p.Subsystems) > 0 {
+			rec.Subsystems = make(map[string]int, len(p.Subsystems))
+			for _, h := range p.Subsystems {
+				rec.Subsystems[h.Subsystem] = h.Step
+			}
+		}
+		if window != nil {
+			rec.Window = window(i)
+		}
+		if p.ActivationStep >= 0 {
+			rec.LatencySteps = p.Step - p.ActivationStep
+		}
+		switch {
+		case r.Result.Trace.DUE():
+			rec.Verdict = obs.VerdictDUE
+		case c.Hazard(r.Result, 2.0):
+			rec.Verdict = obs.VerdictSDC
+		default:
+			rec.Verdict = obs.VerdictMasked
+		}
+		ledger.EmitProp(rec)
+	}
 }
 
 // runSurfaceLaneGroups is the batched scheduler for pluggable-surface
@@ -442,6 +510,7 @@ func runSurfaceLaneGroups(c *Campaign, s CampaignSpec, sc *scenario.Scenario, pl
 				Golden:              stream,
 				DisableSplice:       s.DisableSplice,
 				EarlyExitDivergence: s.EarlyExit,
+				Propagation:         s.Propagation,
 			}
 			det[k] = plans[i].Start()
 		}
@@ -519,6 +588,7 @@ func runLaneGroups(c *Campaign, s CampaignSpec, sc *scenario.Scenario, plans []f
 				Golden:              stream,
 				DisableSplice:       s.DisableSplice,
 				EarlyExitDivergence: s.EarlyExit,
+				Propagation:         s.Propagation,
 			}
 			det[k] = detach[i]
 		}

@@ -78,6 +78,11 @@ type wireCampaign struct {
 	// — gob omits zero fields by name, so legacy artifacts decode
 	// unchanged and instruction campaigns keep their minimal encoding.
 	Descs []string
+	// Props carries per-run propagation records, parallel to Results
+	// (entries nil for runs the tracer saw no divergence in). nil when
+	// the campaign ran untraced, so untraced campaigns — every legacy
+	// artifact among them — keep byte-identical encodings.
+	Props []*sim.Propagation
 }
 
 type wireProfile struct {
@@ -120,15 +125,22 @@ func encodeArtifact(s Spec, key string, v any) ([]byte, error) {
 		err = enc.Encode(wireProfile{Profile: v.(*fi.Profile)})
 	case CampaignSpec:
 		c := v.(*Campaign)
+		cs := s.(CampaignSpec)
 		w := wireCampaign{Plans: make([]fi.Plan, len(c.Runs)), Results: make([]wireResult, len(c.Runs))}
 		if c.Surface != "" {
 			w.Descs = make([]string, len(c.Runs))
+		}
+		if cs.Propagation {
+			w.Props = make([]*sim.Propagation, len(c.Runs))
 		}
 		for i, r := range c.Runs {
 			w.Plans[i] = r.Plan
 			w.Results[i] = wireResult{Trace: r.Result.Trace, Activations: r.Result.Activations}
 			if w.Descs != nil {
 				w.Descs[i] = r.Desc
+			}
+			if w.Props != nil {
+				w.Props[i] = r.Result.Propagation
 			}
 		}
 		err = enc.Encode(w)
@@ -222,6 +234,9 @@ func (l *Lab) decodeArtifact(s Spec, key string, data []byte) (any, error) {
 		if w.Descs != nil && len(w.Descs) != len(w.Results) {
 			return nil, fmt.Errorf("torn campaign: %d descs, %d results", len(w.Descs), len(w.Results))
 		}
+		if w.Props != nil && len(w.Props) != len(w.Results) {
+			return nil, fmt.Errorf("torn campaign: %d props, %d results", len(w.Props), len(w.Results))
+		}
 		golden := l.Golden(s.Golden)
 		c := &Campaign{
 			ScenarioName: s.Scenario,
@@ -237,6 +252,9 @@ func (l *Lab) decodeArtifact(s Spec, key string, data []byte) (any, error) {
 			c.Runs[i] = RunRecord{Plan: w.Plans[i], Result: &sim.Result{Trace: w.Results[i].Trace, Activations: w.Results[i].Activations}}
 			if w.Descs != nil {
 				c.Runs[i].Desc = w.Descs[i]
+			}
+			if w.Props != nil {
+				c.Runs[i].Result.Propagation = w.Props[i]
 			}
 		}
 		return c, nil

@@ -1,0 +1,201 @@
+package lab
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"diverseav/internal/fi"
+	"diverseav/internal/obs"
+	"diverseav/internal/sim"
+	"diverseav/internal/vm"
+)
+
+// TestCampaignPropagationAcceptance is the issue's campaign-level
+// acceptance criterion: on a traced sensor-surface transient campaign
+// with a probe cadence tighter than the smallest fault window, every
+// injected run that perturbed the execution carries a propagation
+// record whose first-divergence step lies within the plan's activation
+// window (plus one probe cadence), while zero-activation (masked before
+// any probe) runs carry none — and the ledger mirrors exactly those
+// records, verdict-stamped.
+func TestCampaignPropagationAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	obs.Enable()
+	var buf bytes.Buffer
+	led := obs.NewLedger(&buf)
+	led.EmitMeta(obs.NewMeta("lab-test"))
+
+	sc := shortLeadSlowdown()
+	l := New()
+	l.RegisterScenario(sc)
+	l.SetLedger(led)
+
+	// CheckpointEvery 10 < the sensor surface's minimum window (20
+	// steps), so at least one probe lands inside every activation window
+	// and a perturbing run cannot escape unrecorded.
+	const every = 10
+	spec := CampaignSpec{
+		Scenario: sc.Name, Mode: sim.RoundRobin, Target: vm.GPU, Model: fi.Transient,
+		Sizes: Sizes{Transient: 6, PermReps: 1, PermStride: 24, Golden: 2, Training: 1},
+		Seed:  91, Surface: fi.SurfaceSensor, CheckpointEvery: every, Propagation: true,
+	}
+	c := l.Campaign(spec)
+	if err := led.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Runs) == 0 {
+		t.Fatal("campaign produced no runs")
+	}
+
+	// The transient runs replay the campaign seed, so the fault-free
+	// reference execution is one plain run of it.
+	goldenRef := sim.Run(sim.Config{Scenario: sc, Mode: spec.Mode, Seed: spec.Seed})
+	goldenHash := traceHash(t, goldenRef.Trace)
+
+	recs, err := obs.ReadLedger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Validate(recs); err != nil {
+		t.Fatalf("emitted ledger invalid: %v", err)
+	}
+	props := map[string]*obs.Propagation{}
+	for _, rec := range recs {
+		if rec.Type == obs.RecordPropagation {
+			props[rec.Prop.Key] = rec.Prop
+		}
+	}
+
+	diverged, recorded := 0, 0
+	for i, r := range c.Runs {
+		p := r.Result.Propagation
+		key := fmt.Sprintf("%s/run-%03d", spec.Key(), i)
+		if r.Result.Activations == 0 {
+			if p != nil {
+				t.Errorf("run %d (%s): zero activations but carries a record: %+v", i, r.Desc, p)
+			}
+			if _, ok := props[key]; ok {
+				t.Errorf("run %d: zero activations but the ledger carries %s", i, key)
+			}
+			continue
+		}
+		if traceHash(t, r.Result.Trace) != goldenHash {
+			diverged++
+			if p == nil {
+				t.Errorf("run %d (%s): trace diverged from golden but carries no record", i, r.Desc)
+				continue
+			}
+		}
+		if p == nil {
+			continue
+		}
+		recorded++
+		rec, ok := props[key]
+		if !ok {
+			t.Errorf("run %d: record not in the ledger under %s", i, key)
+			continue
+		}
+		if len(rec.Window) != 2 {
+			t.Errorf("run %d: ledger record has no window: %+v", i, rec)
+			continue
+		}
+		if rec.Step <= rec.Window[0] || rec.Step > rec.Window[1]+every {
+			t.Errorf("run %d: first divergence at step %d outside window %v + cadence %d",
+				i, rec.Step, rec.Window, every)
+		}
+		if rec.Subsystem != p.Subsystem || rec.Step != p.Step {
+			t.Errorf("run %d: ledger attribution %s@%d disagrees with the run record %s@%d",
+				i, rec.Subsystem, rec.Step, p.Subsystem, p.Step)
+		}
+		// The verdict must be the campaign's own taxonomy for the run.
+		want := obs.VerdictMasked
+		switch {
+		case r.Result.Trace.DUE():
+			want = obs.VerdictDUE
+		case c.Hazard(r.Result, 2.0):
+			want = obs.VerdictSDC
+		}
+		if rec.Verdict != want {
+			t.Errorf("run %d: verdict %q, want %q", i, rec.Verdict, want)
+		}
+		if p.ActivationStep >= 0 && rec.LatencySteps != rec.Step-rec.ActivationStep {
+			t.Errorf("run %d: latency %d, want %d", i, rec.LatencySteps, rec.Step-rec.ActivationStep)
+		}
+	}
+	if len(props) != recorded {
+		t.Errorf("ledger carries %d propagation records, campaign produced %d", len(props), recorded)
+	}
+	if diverged == 0 {
+		t.Error("no run diverged from golden; the acceptance matrix is vacuous")
+	}
+}
+
+// TestCampaignPropagationDiskRoundTrip: propagation records ride the
+// campaign artifact (wire v2 Props column) — a warm lab must serve them
+// from disk field-for-field, and the untraced sibling spec keys
+// separately with no records at all.
+func TestCampaignPropagationDiskRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	sc := shortLeadSlowdown()
+	dir := t.TempDir()
+	spec := CampaignSpec{
+		Scenario: sc.Name, Mode: sim.RoundRobin, Target: vm.GPU, Model: fi.Transient,
+		Sizes: shortSizes(), Seed: 55, Surface: fi.SurfaceSensor,
+		CheckpointEvery: 10, Propagation: true,
+	}
+
+	l1 := New()
+	if err := l1.SetDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	l1.RegisterScenario(sc)
+	c1 := l1.Campaign(spec)
+	traced := 0
+	for _, r := range c1.Runs {
+		if r.Result.Propagation != nil {
+			traced++
+		}
+	}
+	if traced == 0 {
+		t.Fatal("no run carries a record; the round trip is vacuous")
+	}
+
+	l2 := New()
+	if err := l2.SetDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	l2.RegisterScenario(sc)
+	c2 := l2.Campaign(spec)
+	if st := l2.Stats(); st.Computed != 0 {
+		t.Errorf("warm lab recomputed %d artifacts (disk hits %d)", st.Computed, st.DiskHits)
+	}
+	if len(c1.Runs) != len(c2.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(c1.Runs), len(c2.Runs))
+	}
+	for i := range c1.Runs {
+		if !reflect.DeepEqual(c1.Runs[i].Result.Propagation, c2.Runs[i].Result.Propagation) {
+			t.Errorf("run %d: record changed across the disk round trip:\ncomputed: %+v\ndecoded:  %+v",
+				i, c1.Runs[i].Result.Propagation, c2.Runs[i].Result.Propagation)
+		}
+	}
+
+	// The untraced sibling is a different artifact (the records are part
+	// of the campaign's content) and must carry no records.
+	untraced := spec
+	untraced.Propagation = false
+	if untraced.Key() == spec.Key() {
+		t.Fatal("traced and untraced specs share a key")
+	}
+	c3 := l2.Campaign(untraced)
+	for i, r := range c3.Runs {
+		if r.Result.Propagation != nil {
+			t.Errorf("untraced run %d grew a record: %+v", i, r.Result.Propagation)
+		}
+	}
+}

@@ -207,6 +207,15 @@ type CampaignSpec struct {
 	// "hallucinate"). Part of Key(), appended to the canonical string
 	// only when set.
 	Surface string
+	// Propagation turns on the fault-propagation tracer for every
+	// injection run: each run's Result carries a first-divergence
+	// attribution record (internal/sim.Propagation). Tracing never
+	// changes a trace — the probe is read-only — but the records ARE
+	// part of the campaign artifact (they ride the wire format and feed
+	// ledger analytics), so unlike CheckpointEvery this IS part of
+	// Key(), appended to the canonical string only when set so every
+	// existing key survives.
+	Propagation bool
 }
 
 func (s CampaignSpec) norm() CampaignSpec {
@@ -235,6 +244,9 @@ func (s CampaignSpec) canon() string {
 	}
 	if s.Surface != "" {
 		c += "|surface=" + s.Surface
+	}
+	if s.Propagation {
+		c += "|prop=1"
 	}
 	return c
 }

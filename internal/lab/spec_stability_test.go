@@ -50,6 +50,25 @@ func TestCampaignKeyStability(t *testing.T) {
 	}
 }
 
+// TestCampaignKeyPropagation pins the tracing half of the key contract:
+// an unset Propagation field hashes byte-identically to the
+// pre-flight-recorder CampaignSpec (cached artifacts survive), while a
+// traced spec keys separately — its artifact carries the records.
+func TestCampaignKeyPropagation(t *testing.T) {
+	base := CampaignSpec{Scenario: "suburban-35", Mode: sim.RoundRobin, Target: vm.CPU, Model: fi.Transient, Sizes: DefaultSizes()}
+	if got, want := base.Key(), "campaign-suburban-35-diverseav-CPU-transient-e716841684296149"; got != want {
+		t.Errorf("untraced Key() = %q, want pre-flight-recorder %q", got, want)
+	}
+	traced := base
+	traced.Propagation = true
+	if traced.Key() == base.Key() {
+		t.Error("Propagation did not change the campaign key: traced records would poison the untraced cache entry")
+	}
+	if traced.Key() != traced.Key() {
+		t.Error("traced Key() not stable")
+	}
+}
+
 // TestCampaignKeySurface pins the surface half of the key contract:
 // "instr" normalizes to the legacy empty surface (same artifact), any
 // registered surface gets its own keyspace with a readable prefix, and

@@ -22,9 +22,10 @@ const (
 
 // Record types in the ledger.
 const (
-	RecordMeta    = "meta"
-	RecordSpan    = "span"
-	RecordMetrics = "metrics"
+	RecordMeta        = "meta"
+	RecordSpan        = "span"
+	RecordMetrics     = "metrics"
+	RecordPropagation = "propagation"
 )
 
 // SchemaVersion is the ledger schema this package writes. Version 2
@@ -33,9 +34,11 @@ const (
 // on meta and span records so a grid coordinator can merge its workers'
 // ledgers into one stream with per-process identity; version 4 added
 // the surface field on run spans, naming the fault surface the run
-// injected through. Readers accept every version up to this one: older
-// ledgers simply lack the newer optional fields.
-const SchemaVersion = 4
+// injected through; version 5 added the propagation record, the
+// per-run fault-propagation attribution the tracer emits. Readers
+// accept every version up to this one: older ledgers simply lack the
+// newer optional fields and record types.
+const SchemaVersion = 5
 
 // Fault-surface names a run span may carry (Span.Surface). These are
 // the ledger vocabulary for internal/fi's pluggable surfaces — declared
@@ -51,6 +54,49 @@ const (
 	// SurfaceHallucinate is perception-interface perturbation of the
 	// vision planner's outputs (fi/hallucinate).
 	SurfaceHallucinate = "hallucinate"
+)
+
+// Subsystem names a propagation record can attribute divergence to —
+// the closed-loop state partitions the runner's checkpoint digest
+// covers. Declared here (like the surfaces) because obs sits below sim
+// in the import order and the validator needs the closed set.
+const (
+	// SubsystemEnv is the world state: ego and NPC kinematics, script
+	// phases, the scenario RNG.
+	SubsystemEnv = "env"
+	// SubsystemIMU is the inertial sensor's noise stream.
+	SubsystemIMU = "imu"
+	// SubsystemJitter is the duplicate-mode measurement-jitter stream.
+	SubsystemJitter = "jitter"
+	// SubsystemAgent0/SubsystemAgent1 are the agent compute fabrics:
+	// VM memory, register files, instruction counters.
+	SubsystemAgent0 = "agent0"
+	SubsystemAgent1 = "agent1"
+	// SubsystemCtrl is the control/fusion latch set: applied actuation,
+	// the driving agent, frame-delivery latches, the route cursor.
+	SubsystemCtrl = "ctrl"
+	// SubsystemTrace is the trace write cursor.
+	SubsystemTrace = "trace"
+)
+
+// Propagation boundaries: the deepest layer a fault's corruption was
+// observed to cross before the run ended (or reconverged). A fault
+// masked at the "state" boundary corrupted internal subsystem state but
+// never reached the applied controls; one masked at "control" perturbed
+// actuation without moving the vehicle off the golden trajectory;
+// "trajectory" means the recorded trajectory itself diverged.
+const (
+	BoundaryState      = "state"
+	BoundaryControl    = "control"
+	BoundaryTrajectory = "trajectory"
+)
+
+// Propagation verdicts: the campaign's outcome taxonomy for a traced
+// run, stamped by the campaign executor once golden baselines exist.
+const (
+	VerdictSDC    = "sdc"    // silent data corruption: a safety hazard
+	VerdictDUE    = "due"    // detected unrecoverable error: hang/crash
+	VerdictMasked = "masked" // fault acted but the outcome stayed benign
 )
 
 // Exit reasons a divergence-aware run span can carry. An empty reason
@@ -119,14 +165,83 @@ type Span struct {
 	Node string `json:"node,omitempty"`
 }
 
+// PropSample is one point of a propagation record's deviation
+// trajectory: how far the injected run's behavior sat from the golden
+// run's at one probe step.
+type PropSample struct {
+	Step int `json:"step"`
+	// Lateral is the ego's positional deviation from the golden pose in
+	// meters; Heading the absolute yaw deviation in radians.
+	Lateral float64 `json:"lateral"`
+	Heading float64 `json:"heading"`
+	// CVIP is the run's own closest-vehicle-in-path distance at the
+	// sample (<0: none in range); TTC the distance-over-speed time to
+	// collision derived from it (<0: undefined).
+	CVIP float64 `json:"cvip"`
+	TTC  float64 `json:"ttc"`
+}
+
+// Propagation records how one injected run's corruption propagated
+// (schema >= 5): which subsystem diverged from the golden execution
+// first and when, how long after fault activation, the deepest boundary
+// the corruption crossed, and the deviation trajectory while diverged.
+// Emitted once per injected run that was observed to diverge; runs
+// whose fault never perturbed any probed state carry no record.
+type Propagation struct {
+	// Key is the run's identity, matching its run span
+	// ("<campaign-key>/run-NNN").
+	Key string `json:"key"`
+	// Surface names the fault surface (SurfaceInstr, SurfaceSensor,
+	// SurfaceHallucinate); Site is the injection plan's human-readable
+	// site description (the fault string).
+	Surface string `json:"surface"`
+	Site    string `json:"site,omitempty"`
+	// Window is the surface's [start, end) activation window in steps,
+	// when the plan is windowed (sensor/perception surfaces); nil for
+	// surfaces whose reach is instruction-indexed.
+	Window []int `json:"window,omitempty"`
+	// Subsystem is the first subsystem observed diverged, Step the probe
+	// step that observed it, ActivationStep the first step at which the
+	// fault had activated (-1: never observed), LatencySteps the
+	// activation-to-divergence latency (-1: unknown).
+	Subsystem      string `json:"subsystem"`
+	Step           int    `json:"step"`
+	ActivationStep int    `json:"activation_step"`
+	LatencySteps   int    `json:"latency_steps"`
+	// Boundary is the deepest boundary crossed (BoundaryState,
+	// BoundaryControl, BoundaryTrajectory); Reconverged reports whether
+	// the run was observed bit-exactly back on the golden execution.
+	Boundary    string `json:"boundary"`
+	Reconverged bool   `json:"reconverged"`
+	// Verdict is the campaign's taxonomy for the run: "sdc", "due", or
+	// "masked".
+	Verdict string `json:"verdict,omitempty"`
+	// Trajectory-deviation aggregates over the run's recorded trace:
+	// max positional deviation from the golden trajectory, min CVIP and
+	// min TTC (<0: undefined).
+	MaxLateral float64 `json:"max_lateral"`
+	MinCVIP    float64 `json:"min_cvip"`
+	MinTTC     float64 `json:"min_ttc"`
+	// Subsystems maps each subsystem that ever diverged to the probe
+	// step that first observed it.
+	Subsystems map[string]int `json:"subsystems,omitempty"`
+	// Samples is the deviation trajectory at probe cadence, while
+	// diverged.
+	Samples []PropSample `json:"samples,omitempty"`
+	// Node identifies the process that executed the run in a merged
+	// multi-process ledger; see Meta.Node.
+	Node string `json:"node,omitempty"`
+}
+
 // Record is the tagged union written one-per-line to the ledger.
-// Exactly one of Meta/Span/Metrics is set, per Type.
+// Exactly one of Meta/Span/Metrics/Prop is set, per Type.
 type Record struct {
 	Type      string           `json:"type"`
 	ElapsedNs int64            `json:"elapsed_ns"`
 	Meta      *Meta            `json:"meta,omitempty"`
 	Span      *Span            `json:"span,omitempty"`
 	Metrics   map[string]int64 `json:"metrics,omitempty"`
+	Prop      *Propagation     `json:"propagation,omitempty"`
 }
 
 // Ledger writes telemetry records as JSON lines. All methods are safe
@@ -210,6 +325,9 @@ func (l *Ledger) EmitMeta(m Meta) { l.Emit(Record{Type: RecordMeta, Meta: &m}) }
 
 // EmitSpan writes one lab-job span.
 func (l *Ledger) EmitSpan(s Span) { l.Emit(Record{Type: RecordSpan, Span: &s}) }
+
+// EmitProp writes one run's fault-propagation record.
+func (l *Ledger) EmitProp(p Propagation) { l.Emit(Record{Type: RecordPropagation, Prop: &p}) }
 
 // EmitMetrics writes a metrics snapshot.
 func (l *Ledger) EmitMetrics(m map[string]int64) {
@@ -344,6 +462,45 @@ func Validate(recs []Record) error {
 		case RecordMetrics:
 			if len(rec.Metrics) == 0 {
 				return fmt.Errorf("ledger record %d: metrics record without metrics", n)
+			}
+		case RecordPropagation:
+			p := rec.Prop
+			if p == nil {
+				return fmt.Errorf("ledger record %d: propagation record without body", n)
+			}
+			if p.Key == "" {
+				return fmt.Errorf("ledger record %d: propagation without key", n)
+			}
+			switch p.Surface {
+			case SurfaceInstr, SurfaceSensor, SurfaceHallucinate:
+			default:
+				return fmt.Errorf("ledger record %d: unknown surface %q", n, p.Surface)
+			}
+			switch p.Subsystem {
+			case SubsystemEnv, SubsystemIMU, SubsystemJitter,
+				SubsystemAgent0, SubsystemAgent1, SubsystemCtrl, SubsystemTrace:
+			default:
+				return fmt.Errorf("ledger record %d: unknown subsystem %q", n, p.Subsystem)
+			}
+			switch p.Boundary {
+			case BoundaryState, BoundaryControl, BoundaryTrajectory:
+			default:
+				return fmt.Errorf("ledger record %d: unknown boundary %q", n, p.Boundary)
+			}
+			switch p.Verdict {
+			case "", VerdictSDC, VerdictDUE, VerdictMasked:
+			default:
+				return fmt.Errorf("ledger record %d: unknown verdict %q", n, p.Verdict)
+			}
+			if p.Step < 0 {
+				return fmt.Errorf("ledger record %d: negative propagation step %d", n, p.Step)
+			}
+			if p.ActivationStep < -1 || p.LatencySteps < -1 {
+				return fmt.Errorf("ledger record %d: malformed propagation latency (activation %d, latency %d)",
+					n, p.ActivationStep, p.LatencySteps)
+			}
+			if w := p.Window; w != nil && (len(w) != 2 || w[0] < 0 || w[1] < w[0]) {
+				return fmt.Errorf("ledger record %d: malformed propagation window %v (want [start, end), 0 <= start <= end)", n, w)
 			}
 		default:
 			return fmt.Errorf("ledger record %d: unknown type %q", n, rec.Type)

@@ -261,6 +261,165 @@ func TestMergedLedgerRoundTrip(t *testing.T) {
 	}
 }
 
+// TestValidateV4SchemaLedger feeds the decoder the checked-in schema-v4
+// fixture — the format every pluggable-fault-surface ledger on disk
+// before propagation records has: surface-stamped run spans, node
+// stamps, no propagation records. It must decode and validate under the
+// v5 reader unchanged, mirroring TestValidateOldSchemaLedger one schema
+// generation later.
+func TestValidateV4SchemaLedger(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "schema_v4.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := ReadLedger(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(recs); err != nil {
+		t.Fatalf("schema-v4 ledger rejected by v%d reader: %v", SchemaVersion, err)
+	}
+	if recs[0].Meta.Schema != 4 {
+		t.Errorf("fixture meta schema = %d, want 4", recs[0].Meta.Schema)
+	}
+	surfaces := map[string]int{}
+	for _, r := range recs {
+		if r.Type == RecordPropagation {
+			t.Errorf("v4 ledger grew a propagation record: %+v", r.Prop)
+		}
+		if r.Type == RecordSpan && r.Span.Surface != "" {
+			surfaces[r.Span.Surface]++
+		}
+	}
+	for _, s := range []string{SurfaceInstr, SurfaceSensor, SurfaceHallucinate} {
+		if surfaces[s] != 1 {
+			t.Errorf("fixture surface %q span count = %d, want 1", s, surfaces[s])
+		}
+	}
+	if s := recs[4].Span; s.Node != "worker-1" || s.SimulatedSteps[1] != 1200 {
+		t.Errorf("v4 run span lost fields: %+v", s)
+	}
+}
+
+// TestPropagationRoundTrip pins the schema-v5 propagation record: every
+// field — attribution, latency, window, boundary, verdict, deviation
+// aggregates, subsystem hit map, sample trajectory, node stamp —
+// survives the encode/decode cycle and validates.
+func TestPropagationRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLedger(&buf)
+	l.EmitMeta(NewMeta("test-tool"))
+	l.EmitProp(Propagation{
+		Key: "campaign/abc/run-007", Surface: SurfaceSensor, Site: "imu-bias@[200,260)",
+		Window: []int{200, 260}, Subsystem: SubsystemIMU, Step: 250,
+		ActivationStep: 200, LatencySteps: 50,
+		Boundary: BoundaryControl, Reconverged: true, Verdict: VerdictMasked,
+		MaxLateral: 0.41, MinCVIP: 18.5, MinTTC: 2.3,
+		Subsystems: map[string]int{SubsystemIMU: 250, SubsystemAgent0: 300},
+		Samples:    []PropSample{{Step: 250, Lateral: 0.1, Heading: 0.01, CVIP: 20, TTC: 4}},
+		Node:       "worker-2",
+	})
+	// Minimal record: a diverged run with unknown activation and no
+	// windowed plan.
+	l.EmitProp(Propagation{
+		Key: "campaign/abc/run-009", Surface: SurfaceInstr,
+		Subsystem: SubsystemCtrl, Step: 99, ActivationStep: -1, LatencySteps: -1,
+		Boundary: BoundaryTrajectory, Verdict: VerdictSDC,
+		MinCVIP: -1, MinTTC: -1,
+	})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadLedger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(recs); err != nil {
+		t.Fatalf("valid v5 ledger rejected: %v", err)
+	}
+	p := recs[1].Prop
+	if recs[1].Type != RecordPropagation || p == nil {
+		t.Fatalf("record 2 not propagation: %+v", recs[1])
+	}
+	if p.Key != "campaign/abc/run-007" || p.Surface != SurfaceSensor || p.Site != "imu-bias@[200,260)" {
+		t.Errorf("identity fields lost: %+v", p)
+	}
+	if len(p.Window) != 2 || p.Window[0] != 200 || p.Window[1] != 260 {
+		t.Errorf("window lost: %v", p.Window)
+	}
+	if p.Subsystem != SubsystemIMU || p.Step != 250 || p.ActivationStep != 200 || p.LatencySteps != 50 {
+		t.Errorf("attribution lost: %+v", p)
+	}
+	if p.Boundary != BoundaryControl || !p.Reconverged || p.Verdict != VerdictMasked {
+		t.Errorf("outcome fields lost: %+v", p)
+	}
+	if p.MaxLateral != 0.41 || p.MinCVIP != 18.5 || p.MinTTC != 2.3 {
+		t.Errorf("deviation aggregates lost: %+v", p)
+	}
+	if p.Subsystems[SubsystemAgent0] != 300 || len(p.Subsystems) != 2 {
+		t.Errorf("subsystem hits lost: %v", p.Subsystems)
+	}
+	if len(p.Samples) != 1 || p.Samples[0].CVIP != 20 {
+		t.Errorf("samples lost: %v", p.Samples)
+	}
+	if p.Node != "worker-2" {
+		t.Errorf("node stamp lost: %q", p.Node)
+	}
+	if q := recs[2].Prop; q.ActivationStep != -1 || q.LatencySteps != -1 || q.Window != nil {
+		t.Errorf("minimal record lost fields: %+v", q)
+	}
+}
+
+// TestValidateRejectsPropagationFields extends the rejection table to
+// the v5 propagation record.
+func TestValidateRejectsPropagationFields(t *testing.T) {
+	meta := Record{Type: RecordMeta, Meta: &Meta{Tool: "t"}}
+	prop := func(p Propagation) []Record {
+		if p.Key == "" {
+			p.Key = "k/run-000"
+		}
+		if p.Surface == "" {
+			p.Surface = SurfaceInstr
+		}
+		if p.Subsystem == "" {
+			p.Subsystem = SubsystemCtrl
+		}
+		if p.Boundary == "" {
+			p.Boundary = BoundaryState
+		}
+		return []Record{meta, {Type: RecordPropagation, Prop: &p}}
+	}
+	cases := []struct {
+		name string
+		recs []Record
+		want string
+	}{
+		{"no body", []Record{meta, {Type: RecordPropagation}}, "without body"},
+		{"no key", []Record{meta, {Type: RecordPropagation, Prop: &Propagation{Surface: SurfaceInstr, Subsystem: SubsystemCtrl, Boundary: BoundaryState}}}, "without key"},
+		{"bad surface", prop(Propagation{Surface: "ether"}), "unknown surface"},
+		{"bad subsystem", prop(Propagation{Subsystem: "flux"}), "unknown subsystem"},
+		{"bad boundary", prop(Propagation{Boundary: "event-horizon"}), "unknown boundary"},
+		{"bad verdict", prop(Propagation{Verdict: "maybe"}), "unknown verdict"},
+		{"negative step", prop(Propagation{Step: -1}), "negative propagation step"},
+		{"bad activation", prop(Propagation{ActivationStep: -2}), "propagation latency"},
+		{"bad latency", prop(Propagation{LatencySteps: -2}), "propagation latency"},
+		{"one-sided window", prop(Propagation{Window: []int{5}}), "propagation window"},
+		{"inverted window", prop(Propagation{Window: []int{9, 3}}), "propagation window"},
+	}
+	for _, tc := range cases {
+		err := Validate(tc.recs)
+		if err == nil {
+			t.Errorf("%s: Validate accepted invalid ledger", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
 // TestValidateRejectsDivergenceFields extends the rejection table to the
 // v2 fields.
 func TestValidateRejectsDivergenceFields(t *testing.T) {

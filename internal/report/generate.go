@@ -35,6 +35,7 @@ var sections = []section{
 	{"compare", true, false, func(_ Options, s *Study) string { return s.Comparisons() }},
 	{"ablation", true, false, func(_ Options, s *Study) string { return s.AblationDetector() }},
 	{"surfaces", false, true, func(o Options, _ *Study) string { return Surfaces(o) }},
+	{"propagation", false, true, func(o Options, _ *Study) string { return Propagation(o) }},
 }
 
 // ExperimentNames lists the valid section selectors in report order

@@ -1,0 +1,114 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"diverseav/internal/lab"
+	"diverseav/internal/obs"
+)
+
+// TestGeneratePropagationByteIdentical is the propagation byte-identity
+// test — the tentpole's zero-interference gate at the report level: a
+// study generated with the propagation tracer armed on every transient
+// campaign must render byte-identically to the untraced run. Both runs
+// share one lab: the tracer only re-keys the transient campaigns (their
+// artifacts carry the records), so the goldens, detectors and permanent
+// campaigns of the off run are served from memory and the on run
+// recomputes exactly the traced artifacts — which is both the cheapest
+// and the sharpest form of the pin (any byte that moved was produced by
+// a traced campaign). The ledger stays attached across both runs; no
+// obs.Enable(), so the telemetry test's off-run below still exercises
+// the disabled registry path.
+func TestGeneratePropagationByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy (a study plus its traced transient campaigns)")
+	}
+	exps := []string{"table1", "fig7", "fig8", "missed", "compare", "ablation"}
+
+	var buf bytes.Buffer
+	led := obs.NewLedger(&buf)
+	led.EmitMeta(obs.NewMeta("report-test"))
+	l := lab.New()
+	l.SetLedger(led)
+	o := studyDeterminismOpts()
+	o.Lab = l
+
+	off, err := Generate(o, exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o.Propagation = true
+	on, err := Generate(o, exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := led.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if off != on {
+		t.Errorf("propagation tracing changed the report (%d vs %d bytes)\n%s",
+			len(off), len(on), firstDiff(on, off))
+	}
+
+	recs, err := obs.ReadLedger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Validate(recs); err != nil {
+		t.Fatalf("traced study ledger invalid: %v", err)
+	}
+	props := 0
+	for _, r := range recs {
+		if r.Type == obs.RecordPropagation {
+			props++
+			if r.Prop.Verdict == "" {
+				t.Errorf("study record %s has no verdict", r.Prop.Key)
+			}
+		}
+	}
+	if props == 0 {
+		t.Error("traced study emitted no propagation records")
+	}
+}
+
+// TestPropagationSection renders the explicit -e propagation section at
+// reduced scale: every surface row present, the tallies internally
+// consistent (verdicts partition the traced runs), and the section
+// reachable through Generate by name but absent from "all".
+func TestPropagationSection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy (nine traced campaigns)")
+	}
+	o := studyDeterminismOpts()
+	out, err := Generate(o, []string{"propagation"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Fault propagation", "First-diverged subsystem", "Deepest boundary",
+		"Activation → first-divergence latency",
+		"instr", "sensorfault", "hallucinate",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("section missing %q\n%s", want, out)
+		}
+	}
+	// The section must be registered explicit-only, so it never rides
+	// along with "all" (the golden "all" report stays byte-stable).
+	found := false
+	for _, sec := range sections {
+		if sec.name == "propagation" {
+			found = true
+			if !sec.explicit {
+				t.Error("propagation section is not explicit-only; it would ride along with -e all")
+			}
+		}
+	}
+	if !found {
+		t.Error("propagation section not registered")
+	}
+}

@@ -55,6 +55,12 @@ type Options struct {
 	// instruction surface, keeping every artifact key and report byte
 	// identical to pre-surface builds.
 	Surface string
+	// Propagation turns on the fault-propagation tracer in every
+	// transient campaign of the study. The tracer is read-only, so the
+	// report text is byte-identical either way (the propagation
+	// byte-identity test pins it); what changes is the artifact — traced
+	// campaigns carry per-run attribution records and key separately.
+	Propagation bool
 }
 
 // DefaultOptions is the scale used by cmd/experiments.
@@ -124,6 +130,7 @@ func buildSpecs(o Options) studySpecs {
 					Scenario: sc.Name, Mode: sim.RoundRobin, Target: target, Model: model,
 					Sizes: o.Sizes, Seed: base + uint64(target)*31 + uint64(model)*57, Golden: goldenRR,
 					DisableSplice: o.NoSplice, LaneWidth: o.LaneWidth, Surface: o.Surface,
+					Propagation: o.Propagation && model == fi.Transient,
 				})
 			}
 		}
@@ -136,11 +143,13 @@ func buildSpecs(o Options) studySpecs {
 				Scenario: sc.Name, Mode: sim.Duplicate, Target: vm.GPU, Model: model,
 				Sizes: o.Sizes, Seed: base + 4000 + uint64(model), Golden: goldenFD,
 				DisableSplice: o.NoSplice, LaneWidth: o.LaneWidth, Surface: o.Surface,
+				Propagation: o.Propagation && model == fi.Transient,
 			})
 			sp.single = append(sp.single, lab.CampaignSpec{
 				Scenario: sc.Name, Mode: sim.Single, Target: vm.GPU, Model: model,
 				Sizes: o.Sizes, Seed: base + 5000 + uint64(model), Golden: goldenSG,
 				DisableSplice: o.NoSplice, LaneWidth: o.LaneWidth, Surface: o.Surface,
+				Propagation: o.Propagation && model == fi.Transient,
 			})
 		}
 	}

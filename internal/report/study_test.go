@@ -41,7 +41,7 @@ func TestGenerateEmptySelection(t *testing.T) {
 // TestExperimentNames pins the selector list and its report order.
 func TestExperimentNames(t *testing.T) {
 	got := strings.Join(ExperimentNames(), ",")
-	want := "fig5a,fig5b,fig2,fig6,table2,overlap,eccoff,table1,fig7,fig8,missed,compare,ablation,surfaces"
+	want := "fig5a,fig5b,fig2,fig6,table2,overlap,eccoff,table1,fig7,fig8,missed,compare,ablation,surfaces,propagation"
 	if got != want {
 		t.Errorf("ExperimentNames() = %s, want %s", got, want)
 	}
@@ -80,13 +80,15 @@ func firstDiff(got, want string) string {
 	return "one report is a prefix of the other"
 }
 
-// studyDeterminismOpts is the reduced scale the subprocess determinism
-// test runs at: every mode, target and model is still exercised, but
-// each campaign is a handful of runs so two child studies fit the test
-// budget.
+// studyDeterminismOpts is the reduced scale the study-pair determinism
+// tests run at (worker-count, telemetry and propagation byte-identity
+// each generate two studies): every mode, target and model is still
+// exercised, Transient stays at 2 so lane grouping sees multi-lane
+// cohorts, but goldens are singletons and the permanent stride is
+// doubled so the three study pairs fit the package's test budget.
 func studyDeterminismOpts() Options {
 	o := BenchOptions()
-	o.Sizes = campaign.Sizes{Transient: 2, PermReps: 1, PermStride: 24, Golden: 2, Training: 1}
+	o.Sizes = campaign.Sizes{Transient: 2, PermReps: 1, PermStride: 48, Golden: 1, Training: 1}
 	o.TDs = []float64{2}
 	o.RWs = []int{3}
 	return o

@@ -33,6 +33,7 @@ func surfaceSpecs(o Options, surface string) []lab.CampaignSpec {
 				Scenario: sc.Name, Mode: sim.RoundRobin, Target: vm.GPU, Model: model,
 				Sizes: o.Sizes, Seed: base + uint64(vm.GPU)*31 + uint64(model)*57, Golden: golden,
 				DisableSplice: o.NoSplice, LaneWidth: o.LaneWidth, Surface: surface,
+				Propagation: o.Propagation && model == fi.Transient,
 			})
 		}
 	}

@@ -274,6 +274,13 @@ func runCohort(cfgs []Config, snap *Checkpoint, start int) ([]*Result, error) {
 	idxs := make([]int, 0, n)
 
 	for step := start; live > 0 && step < steps; step++ {
+		// Propagation probe, per lane (mirrors the solo run loop: before
+		// the splice probe, and under DisableSplice too).
+		for i, ln := range lanes {
+			if res[i] == nil && ln.prop != nil && step > start {
+				ln.probeProp(step)
+			}
+		}
 		// Reconvergence probe, per lane (mirrors the solo run loop).
 		for i, ln := range lanes {
 			if res[i] != nil || ln.golden == nil || ln.cfg.DisableSplice || step == start {

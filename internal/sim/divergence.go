@@ -224,6 +224,11 @@ func (r *runner) splice(step, start int) *Result {
 			ExitReason:    ExitSplice,
 			SplicedSteps:  len(g.Steps) - step,
 		},
+		// The tracer latched reconvergence at this very probe (same
+		// bit-equal + quiescent condition), and the grafted trace is
+		// byte-identical to the simulated one, so the record equals the
+		// no-splice run's.
+		Propagation: r.buildPropagation(),
 	}
 	r.publishRun(res)
 	return res

@@ -137,6 +137,17 @@ type Config struct {
 	// Unlike splicing this changes the recorded trace, so campaign specs
 	// must key on it.
 	EarlyExitDivergence float64
+	// Propagation, when set on a divergence-aware injection run (Golden
+	// non-nil, Fault or Surface set), arms the fault-propagation tracer:
+	// a read-only probe that, at every golden checkpoint step, compares
+	// each subsystem's state against the golden stream and records
+	// first-divergence attribution and deviation trajectories into
+	// Result.Propagation. Pure observability — the probes never feed
+	// back into splice/fork/lane decisions, the recorded trace is
+	// byte-identical with tracing on or off, and a disabled tracer costs
+	// nothing. The record itself IS part of the campaign artifact, so
+	// campaign specs key on this flag (unlike Golden).
+	Propagation bool
 	// laneHookRelease opts the runner into uninstalling its fault hooks at
 	// a step boundary once every injector is provably quiescent (see
 	// maybeReleaseHooks). Bit-exact by construction — a quiescent hook
@@ -165,6 +176,11 @@ type Result struct {
 	Activations uint64
 	Checkpoints []*Checkpoint
 	Exec        ExecInfo
+	// Propagation is the fault-propagation record when Config.Propagation
+	// armed the tracer AND a probe observed the run diverged from the
+	// golden execution; nil otherwise (tracing off, fault-free run, or a
+	// fault that never perturbed probed state).
+	Propagation *Propagation
 }
 
 // runner is one experiment's live state: everything the closed loop
@@ -194,8 +210,12 @@ type runner struct {
 	outputHooks []fi.OutputHook
 	golden      *GoldenStream
 	earlyExit   bool
-	tr          *trace.Trace
-	steps       int
+	// prop is the fault-propagation tracer's state (nil unless
+	// Config.Propagation armed it): read-only observation, never input
+	// to execution.
+	prop  *propTracker
+	tr    *trace.Trace
+	steps int
 	// start is the first step this runner simulates (0 for a cold run,
 	// the fork/detach step otherwise); set by run and by the cohort loop.
 	start int
@@ -313,6 +333,9 @@ func newRunner(cfg Config) *runner {
 	}
 
 	r.golden = cfg.Golden
+	if cfg.Propagation && cfg.Golden != nil && (cfg.Fault != nil || cfg.Surface != nil) {
+		r.prop = &propTracker{firstStep: -1, actStep: -1}
+	}
 	r.steps = int(cfg.Scenario.Duration * Hz)
 	r.appliedBy = -1
 	r.lastFrame = [2]int{-1, -1}
@@ -348,6 +371,12 @@ func (r *runner) run(start int) *Result {
 	for step := start; step < r.steps; step++ {
 		if cfg.CheckpointEvery > 0 && step > start && step%cfg.CheckpointEvery == 0 {
 			r.checkpoints = append(r.checkpoints, r.snapshot(step))
+		}
+		// Propagation probe: read-only divergence attribution against the
+		// golden checkpoint at this step, independent of the splice gate
+		// (it fires under DisableSplice too, at the identical instants).
+		if r.prop != nil && step > start {
+			r.probeProp(step)
 		}
 		// Reconvergence probe: when the golden stream holds a checkpoint
 		// for this exact top-of-step instant and the fault is spent,
@@ -507,6 +536,10 @@ func (r *runner) stepFinish(step int) *Result {
 	dt := 1.0 / Hz
 	t := float64(step) * dt
 
+	// Propagation tracing: latch the first step whose agent phase
+	// activated the fault (a no-op without a tracker).
+	r.propActivationPoll(step)
+
 	// Profiling: record each agent's end-of-step cumulative instruction
 	// counts, the DynIndex→step map used to pick fork points for
 	// transient plans.
@@ -591,6 +624,7 @@ func (r *runner) finish(start int) *Result {
 		Activations: surfaceActivations(r.surface),
 		Checkpoints: r.checkpoints,
 		Exec:        ExecInfo{SimulatedFrom: start, SimulatedTo: r.tr.EndStep + 1},
+		Propagation: r.buildPropagation(),
 	}
 	if r.earlyExit {
 		res.Exec.ExitReason = ExitEarly
